@@ -1,0 +1,164 @@
+"""Figure 10 (LFS overall write cost) and Sections 4.1 / 4.2.2
+(track-boundary detection and excluded blocks)."""
+
+from repro.analysis import format_table
+from repro.core import (
+    DixtracExtractor,
+    GeneralExtractor,
+    ScsiBoundaryScanner,
+    TraxtentMap,
+    excluded_block_fraction,
+)
+from repro.disksim import (
+    DiskDrive,
+    DiskGeometry,
+    ScsiInterface,
+    get_specs,
+    small_test_specs,
+)
+from repro.lfs import (
+    AuspexLikeWorkload,
+    transfer_inefficiency_measured,
+    transfer_inefficiency_model,
+    write_cost_curve,
+)
+
+SEGMENT_SIZES_KB = [32, 64, 128, 256, 512, 1024, 2048, 4096]
+
+
+def test_fig10_lfs_overall_write_cost(benchmark, record):
+    """Figure 10: OWC = WriteCost x TransferInefficiency vs. segment size
+    for track-aligned and unaligned segment placement, plus the analytic
+    transfer-inefficiency model (paper: minimum at the track size; ~44 %
+    lower OWC for track-sized segments)."""
+    specs = get_specs("Quantum Atlas 10K II")
+    workload = AuspexLikeWorkload(n_files=1200, n_operations=12_000, seed=17)
+    live_bytes = int(
+        workload.n_files * workload.small_file_bytes * 1.5
+        + workload.n_files * workload.large_file_fraction * workload.large_file_bytes
+    )
+    log_sectors = int(live_bytes * 1.25) // 512
+
+    def run():
+        costs = write_cost_curve(0, log_sectors, SEGMENT_SIZES_KB, workload)
+        drive = DiskDrive.for_model("Quantum Atlas 10K II")
+        rows = []
+        owc = {}
+        for size_kb in SEGMENT_SIZES_KB:
+            sectors = size_kb * 2
+            aligned_ti = transfer_inefficiency_measured(
+                drive, sectors, aligned=True, n_requests=120
+            )
+            unaligned_ti = transfer_inefficiency_measured(
+                drive, sectors, aligned=False, n_requests=120
+            )
+            model_ti = transfer_inefficiency_model(specs, size_kb * 1024)
+            owc[size_kb] = (
+                costs[size_kb] * aligned_ti,
+                costs[size_kb] * unaligned_ti,
+                costs[size_kb] * model_ti,
+            )
+            rows.append(
+                [
+                    size_kb,
+                    f"{costs[size_kb]:.2f}",
+                    f"{owc[size_kb][0]:.2f}",
+                    f"{owc[size_kb][1]:.2f}",
+                    f"{owc[size_kb][2]:.2f}",
+                ]
+            )
+        return rows, owc
+
+    rows, owc = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["segment (KB)", "write cost", "OWC aligned", "OWC unaligned",
+         "OWC (Tpos*BW/S+1 model)"],
+        rows,
+        title="Figure 10: LFS overall write cost (Auspex-like workload, Atlas 10K II)",
+    )
+    track_kb = 256  # nearest sweep point to the 264 KB track
+    saving = 1 - owc[track_kb][0] / owc[track_kb][1]
+    best_aligned = min(SEGMENT_SIZES_KB, key=lambda k: owc[k][0])
+    table += (
+        f"\nAligned vs unaligned OWC at ~track-sized segments: {saving:.0%} lower "
+        f"(paper: 44%)\nAligned OWC minimum at {best_aligned} KB segments "
+        f"(track size is 264 KB)"
+    )
+    record("fig10_lfs_owc", table)
+    # The paper's headline: track-sized aligned segments cost markedly less
+    # than unaligned segments of the same size (44 % in the paper).  The
+    # position of the aligned curve's absolute minimum depends on the write
+    # workload (see EXPERIMENTS.md), so only the aligned-vs-unaligned
+    # comparison is asserted.
+    assert saving > 0.25
+    assert owc[track_kb][0] < owc[track_kb][1]
+
+
+def test_sec41_track_boundary_detection(benchmark, record):
+    """Section 4.1: all three extraction methods recover the exact track
+    boundaries; DIXtrac needs a capacity-independent number of translations,
+    the expertise-free scanner a few translations per track, and the
+    general timing approach a few (slow) probes per track."""
+    specs = small_test_specs(cylinders_per_zone=16, num_zones=3)
+    geometry = DiskGeometry.with_random_defects(specs, defect_count=12, seed=4)
+    truth = TraxtentMap.from_geometry(geometry)
+
+    def run():
+        dixtrac_map, description = DixtracExtractor(ScsiInterface(geometry)).extract()
+        scanner_map, scanner_stats = ScsiBoundaryScanner(ScsiInterface(geometry)).extract()
+        drive = DiskDrive(specs, geometry=geometry)
+        prefix_end = truth[40].end_lbn
+        general_map, general_stats = GeneralExtractor(drive).extract(0, prefix_end)
+        return (
+            dixtrac_map, description, scanner_map, scanner_stats,
+            general_map, general_stats, prefix_end,
+        )
+
+    (dixtrac_map, description, scanner_map, scanner_stats,
+     general_map, general_stats, prefix_end) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    rows = [
+        ["DIXtrac (SCSI queries)",
+         f"{description.translations_used} translations",
+         f"{dixtrac_map.accuracy_against(truth):.0%}"],
+        ["SCSI scanner (expertise-free)",
+         f"{scanner_stats.translations_per_track:.1f} translations/track",
+         f"{scanner_map.accuracy_against(truth):.0%}"],
+        ["General (read timing)",
+         f"{general_stats.probes_per_track:.1f} probes/track, "
+         f"{general_stats.simulated_ms / 1000:.0f} s simulated",
+         f"{general_map.accuracy_against(truth.restrict(0, prefix_end)):.0%}"],
+    ]
+    table = format_table(
+        ["method", "cost", "boundary accuracy"],
+        rows,
+        title=f"Section 4.1: boundary extraction on a {len(truth)}-track drive "
+              f"with {len(geometry.defects)} defects",
+    )
+    record("sec41_detection", table)
+    assert dixtrac_map == truth
+    assert scanner_map == truth
+    assert general_map.to_pairs() == truth.restrict(0, prefix_end).to_pairs()
+
+
+def test_sec422_excluded_block_fractions(benchmark, record):
+    """Section 4.2.2: about one excluded 8 KB block in twenty on the Atlas
+    10K, one in thirty on the Atlas 10K II."""
+
+    def run():
+        rows = []
+        for model, paper in (("Quantum Atlas 10K", "1/20"), ("Quantum Atlas 10K II", "1/30")):
+            geometry = DiskGeometry(get_specs(model))
+            zone_map = TraxtentMap.from_geometry(geometry, *geometry.zone_lbn_range(0))
+            fraction = excluded_block_fraction(zone_map, 16)
+            rows.append([model, f"1/{1 / fraction:.0f}", paper])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["disk", "excluded 8 KB blocks (measured)", "paper"],
+        rows,
+        title="Section 4.2.2: excluded-block fraction (first zone)",
+    )
+    record("sec422_excluded_blocks", table)

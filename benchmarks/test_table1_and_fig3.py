@@ -1,0 +1,59 @@
+"""Table 1 (drive characteristics) and Figure 3 (rotational latency model)."""
+
+from repro.analysis import format_series, format_table
+from repro.core import rotational_latency_curve
+from repro.disksim import available_models, get_specs
+
+
+def test_table1_drive_characteristics(benchmark, record):
+    """Table 1: representative disk characteristics."""
+
+    def build():
+        rows = []
+        for name in available_models():
+            specs = get_specs(name)
+            rows.append(
+                [
+                    specs.name,
+                    specs.year,
+                    specs.rpm,
+                    f"{specs.head_switch_ms:.1f} ms",
+                    f"{specs.avg_seek_ms:.1f} ms",
+                    f"{specs.max_sectors_per_track}-{specs.min_sectors_per_track}",
+                    specs.num_tracks,
+                    f"{specs.capacity_gb:g} GB",
+                ]
+            )
+        return format_table(
+            ["Disk", "Year", "RPM", "Head switch", "Avg seek", "Sectors/track",
+             "Tracks", "Capacity"],
+            rows,
+            title="Table 1: representative disk characteristics",
+        )
+
+    table = benchmark(build)
+    record("table1_specs", table)
+
+
+def test_fig3_rotational_latency(benchmark, record):
+    """Figure 3: average rotational latency vs. request size for ordinary
+    and zero-latency firmware on a 10K RPM disk."""
+    specs = get_specs("Quantum Atlas 10K II")
+    fractions = [i / 20 for i in range(21)]
+
+    def build():
+        zero_latency = rotational_latency_curve(specs, fractions, zero_latency=True)
+        ordinary = rotational_latency_curve(specs, fractions, zero_latency=False)
+        rows = [
+            [f"{frac:.0%}", f"{zl:.2f}", f"{plain:.2f}"]
+            for (frac, zl), (_, plain) in zip(zero_latency, ordinary)
+        ]
+        return format_table(
+            ["I/O size (% of track)", "Zero-latency disk (ms)", "Ordinary disk (ms)"],
+            rows,
+            title="Figure 3: average rotational latency, 10,000 RPM disk",
+        )
+
+    table = benchmark(build)
+    record("fig3_rotational_latency", table)
+    assert "0.00" in table  # zero-latency latency reaches zero at a full track

@@ -1,0 +1,17 @@
+"""repro: reproduction of "Track-Aligned Extents" (Schindler et al., FAST 2002).
+
+The package is organised as:
+
+* :mod:`repro.disksim`      -- disk-drive simulation substrate,
+* :mod:`repro.core`         -- traxtents: track-boundary detection,
+  track-aligned allocation and access shaping (the paper's contribution),
+* :mod:`repro.fs`           -- an FFS-like file system driving the simulator,
+* :mod:`repro.videoserver`  -- round-based video server and admission control,
+* :mod:`repro.lfs`          -- log-structured file system write-cost model,
+* :mod:`repro.workloads`    -- workload generators used by the evaluation,
+* :mod:`repro.analysis`     -- statistics and report formatting helpers.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,14 @@
+"""Statistics and reporting helpers."""
+
+from .report import format_series, format_table
+from .stats import histogram, mean, percentile, relative_change, stddev
+
+__all__ = [
+    "format_series",
+    "format_table",
+    "histogram",
+    "mean",
+    "percentile",
+    "relative_change",
+    "stddev",
+]

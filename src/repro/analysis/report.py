@@ -1,0 +1,53 @@
+"""Plain-text table and series formatting for benchmark output.
+
+Every benchmark prints the rows or series of the paper figure/table it
+reproduces; these helpers keep that output consistent and readable in a
+terminal (and in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned, pipe-separated table."""
+    columns = len(headers)
+    cells = [[str(h) for h in headers]] + [
+        [_format_cell(row[i]) if i < len(row) else "" for i in range(columns)]
+        for row in rows
+    ]
+    widths = [max(len(line[i]) for line in cells) for i in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(cells[0][i].ljust(widths[i]) for i in range(columns))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * widths[i] for i in range(columns)))
+    for row in cells[1:]:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    points: Sequence[tuple[object, object]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render an (x, y) series as a two-column table."""
+    return format_table(
+        [x_label, y_label],
+        [(x, y) for x, y in points],
+        title=name,
+    )
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

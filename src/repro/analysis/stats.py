@@ -1,0 +1,59 @@
+"""Small statistics helpers shared by benchmarks and tests.
+
+Kept dependency-light (plain Python) so the analysis code mirrors what the
+paper's authors could compute from their measurement logs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation (what Figure 8 plots)."""
+    if not values:
+        raise ValueError("stddev of empty sequence")
+    centre = mean(values)
+    return math.sqrt(sum((v - centre) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction`` percentile (0 < fraction <= 1) by rank."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def histogram(values: Sequence[float], bins: int = 20) -> list[tuple[float, int]]:
+    """(bin lower edge, count) pairs over the value range."""
+    if not values:
+        raise ValueError("histogram of empty sequence")
+    if bins <= 0:
+        raise ValueError("need at least one bin")
+    low, high = min(values), max(values)
+    if high == low:
+        return [(low, len(values))]
+    width = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / width))
+        counts[index] += 1
+    return [(low + i * width, counts[i]) for i in range(bins)]
+
+
+def relative_change(baseline: float, new: float) -> float:
+    """(new - baseline) / baseline; negative means `new` is smaller."""
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    return (new - baseline) / baseline

@@ -1,0 +1,89 @@
+"""Core traxtent library: the paper's contribution.
+
+* :mod:`repro.core.traxtent`   -- :class:`Traxtent` / :class:`TraxtentMap`,
+* :mod:`repro.core.detection`  -- general (timing-based) boundary extraction,
+* :mod:`repro.core.dixtrac`    -- SCSI-query-based extraction (DIXtrac),
+* :mod:`repro.core.allocator`  -- track-aligned extent allocation and the
+  excluded-block computation for block-based file systems,
+* :mod:`repro.core.access`     -- request shaping (clip/extend to track
+  boundaries) and synthetic request streams,
+* :mod:`repro.core.efficiency` -- disk-efficiency measurement helpers.
+"""
+
+from .access import (
+    RequestShaper,
+    ShapedRequest,
+    interleave,
+    random_track_aligned_reads,
+    random_unaligned_requests,
+    sequential_requests,
+)
+from .allocator import (
+    AllocationError,
+    AllocationStats,
+    Extent,
+    ExtentAllocator,
+    excluded_block_fraction,
+    excluded_blocks,
+    usable_block_runs,
+)
+from .detection import (
+    DEFAULT_MAX_SPT,
+    ExtractionError,
+    ExtractionStats,
+    GeneralExtractor,
+)
+from .dixtrac import (
+    CharacterizationError,
+    DixtracExtractor,
+    DriveCharacterization,
+    ScannerStats,
+    ScsiBoundaryScanner,
+    ZoneDescription,
+)
+from .efficiency import (
+    EfficiencyPoint,
+    crossover_size,
+    efficiency_curve,
+    ideal_transfer_ms,
+    max_streaming_efficiency,
+    measure_point,
+    rotational_latency_curve,
+)
+from .traxtent import Traxtent, TraxtentError, TraxtentMap
+
+__all__ = [
+    "AllocationError",
+    "AllocationStats",
+    "CharacterizationError",
+    "DEFAULT_MAX_SPT",
+    "DixtracExtractor",
+    "DriveCharacterization",
+    "EfficiencyPoint",
+    "Extent",
+    "ExtentAllocator",
+    "ExtractionError",
+    "ExtractionStats",
+    "GeneralExtractor",
+    "RequestShaper",
+    "ScannerStats",
+    "ScsiBoundaryScanner",
+    "ShapedRequest",
+    "Traxtent",
+    "TraxtentError",
+    "TraxtentMap",
+    "ZoneDescription",
+    "crossover_size",
+    "efficiency_curve",
+    "excluded_block_fraction",
+    "excluded_blocks",
+    "ideal_transfer_ms",
+    "interleave",
+    "max_streaming_efficiency",
+    "measure_point",
+    "random_track_aligned_reads",
+    "random_unaligned_requests",
+    "rotational_latency_curve",
+    "sequential_requests",
+    "usable_block_runs",
+]

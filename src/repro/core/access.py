@@ -1,0 +1,155 @@
+"""Request shaping: generating track-aligned disk requests.
+
+Once data is laid out on track boundaries, the system software must also
+*issue* requests that respect those boundaries -- extending or clipping
+prefetch and write-back requests so that no single request crosses a track
+boundary unnecessarily (Section 3.2).  This module provides the shaping
+helpers used by the file system, the video server and the raw-disk
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..disksim.drive import DiskRequest
+from .traxtent import TraxtentMap
+
+
+@dataclass(frozen=True)
+class ShapedRequest:
+    """A piece of a larger transfer, guaranteed not to cross a boundary."""
+
+    lbn: int
+    count: int
+    aligned: bool  # True when the piece is exactly one whole traxtent
+
+
+class RequestShaper:
+    """Split logical transfers into boundary-respecting disk requests."""
+
+    def __init__(self, traxtents: TraxtentMap, max_request_sectors: int | None = None):
+        self._map = traxtents
+        self._max = max_request_sectors
+
+    @property
+    def traxtent_map(self) -> TraxtentMap:
+        return self._map
+
+    def shape(self, lbn: int, count: int) -> list[ShapedRequest]:
+        """Split [lbn, lbn+count) so no piece crosses a track boundary."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        pieces: list[ShapedRequest] = []
+        cursor = lbn
+        end = lbn + count
+        while cursor < end:
+            extent = self._map.extent_of(cursor)
+            take = min(end, extent.end_lbn) - cursor
+            if self._max is not None:
+                take = min(take, self._max)
+            aligned = cursor == extent.first_lbn and take == extent.length
+            pieces.append(ShapedRequest(lbn=cursor, count=take, aligned=aligned))
+            cursor += take
+        return pieces
+
+    def clip_prefetch(self, lbn: int, desired: int) -> int:
+        """Clip a prefetch of ``desired`` sectors at ``lbn`` so it stops at
+        the next track boundary (the modification made to FFS read-ahead)."""
+        return self._map.clip(lbn, desired)
+
+    def extend_to_track(self, lbn: int) -> tuple[int, int]:
+        """Extend a request at ``lbn`` to cover its entire traxtent
+        (used when fetching the first block of a file whose extent was
+        preallocated track-aligned)."""
+        extent = self._map.extent_of(lbn)
+        return extent.first_lbn, extent.length
+
+    def to_requests(self, op: str, lbn: int, count: int) -> list[DiskRequest]:
+        """Shaped pieces as :class:`DiskRequest` objects."""
+        return [DiskRequest(op, piece.lbn, piece.count) for piece in self.shape(lbn, count)]
+
+
+# --------------------------------------------------------------------------- #
+# Synthetic request streams for the raw-disk evaluation (Figures 1, 6, 7, 8)
+# --------------------------------------------------------------------------- #
+
+def random_track_aligned_reads(
+    traxtents: TraxtentMap,
+    n_requests: int,
+    seed: int = 1,
+    op: str = "read",
+    sectors: int | None = None,
+) -> list[DiskRequest]:
+    """Random whole-track (or track-aligned, ``sectors``-long) requests.
+
+    Each request starts at the first LBN of a uniformly chosen traxtent;
+    when ``sectors`` exceeds the traxtent length the request simply spans
+    into the following track(s), which reproduces the dips between the
+    peaks of Figure 1's track-aligned curve.
+    """
+    rng = random.Random(seed)
+    requests: list[DiskRequest] = []
+    count = len(traxtents)
+    for _ in range(n_requests):
+        extent = traxtents[rng.randrange(count)]
+        length = extent.length if sectors is None else sectors
+        if extent.first_lbn + length > traxtents.end_lbn:
+            length = traxtents.end_lbn - extent.first_lbn
+        requests.append(DiskRequest(op, extent.first_lbn, length))
+    return requests
+
+
+def random_unaligned_requests(
+    first_lbn: int,
+    end_lbn: int,
+    sectors: int,
+    n_requests: int,
+    seed: int = 1,
+    op: str = "read",
+) -> list[DiskRequest]:
+    """Random constant-sized requests with no track awareness (the
+    "unaligned" baseline throughout the paper's evaluation)."""
+    if sectors <= 0:
+        raise ValueError("sectors must be positive")
+    if end_lbn - first_lbn <= sectors:
+        raise ValueError("request size exceeds the requested LBN range")
+    rng = random.Random(seed)
+    return [
+        DiskRequest(op, rng.randrange(first_lbn, end_lbn - sectors), sectors)
+        for _ in range(n_requests)
+    ]
+
+
+def sequential_requests(
+    first_lbn: int,
+    total_sectors: int,
+    request_sectors: int,
+    op: str = "read",
+) -> Iterator[DiskRequest]:
+    """A simple sequential stream of fixed-size requests."""
+    cursor = first_lbn
+    end = first_lbn + total_sectors
+    while cursor < end:
+        take = min(request_sectors, end - cursor)
+        yield DiskRequest(op, cursor, take)
+        cursor += take
+
+
+def interleave(streams: Sequence[Sequence[DiskRequest]]) -> list[DiskRequest]:
+    """Round-robin interleaving of several request streams (two interleaved
+    file scans is the paper's 512 MB ``diff`` workload shape)."""
+    out: list[DiskRequest] = []
+    cursors = [0] * len(streams)
+    remaining = sum(len(s) for s in streams)
+    index = 0
+    while remaining:
+        stream = index % len(streams)
+        if cursors[stream] < len(streams[stream]):
+            out.append(streams[stream][cursors[stream]])
+            cursors[stream] += 1
+            remaining -= 1
+        index += 1
+    return out

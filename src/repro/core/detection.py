@@ -1,0 +1,278 @@
+"""General (interface-agnostic) track-boundary extraction.
+
+Section 4.1.1 of the paper describes an algorithm that needs nothing beyond
+a ``read`` command: it locates track boundaries by finding discontinuities
+in access time.  Reading ``N`` sectors starting at sector ``S`` gets more
+expensive linearly in ``N`` -- until the request crosses a track boundary,
+at which point the response time jumps by roughly the head-switch time.
+
+Three practical obstacles, and the paper's answers, are reproduced here:
+
+* **rotational-latency noise** -- every probe is issued at (nearly) the same
+  offset within the rotational period, so latency is a constant rather than
+  a random variable;
+* **seek noise** -- probes always start from the same parking area, so the
+  seek contribution is constant as well;
+* **firmware caching** -- repeated reads of the same sectors would be
+  serviced from the cache and carry no timing information, so the extractor
+  interleaves reads to many widespread locations between probes, evicting
+  the segment that holds the probe target (the paper interleaves 100
+  parallel extraction streams for the same reason).
+
+The extractor also implements the paper's two optimisations: binary search
+for the discontinuity instead of a linear scan, and a cheap per-track
+verification when the next track is expected to have the same size (the
+common case away from zone boundaries and defects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..disksim.drive import DiskDrive
+from .traxtent import Traxtent, TraxtentMap
+
+#: Upper bound on sectors per track used to bound the search.
+DEFAULT_MAX_SPT = 4096
+
+
+class ExtractionError(Exception):
+    """Raised when boundary extraction cannot make progress."""
+
+
+@dataclass
+class ExtractionStats:
+    """Bookkeeping for one extraction run."""
+
+    probes: int = 0
+    flush_reads: int = 0
+    tracks_found: int = 0
+    fast_verifications: int = 0
+    full_searches: int = 0
+    simulated_ms: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return self.probes + self.flush_reads
+
+    @property
+    def probes_per_track(self) -> float:
+        if self.tracks_found == 0:
+            return 0.0
+        return self.probes / self.tracks_found
+
+
+@dataclass
+class GeneralExtractor:
+    """Timing-based track-boundary extractor (read command only)."""
+
+    drive: DiskDrive
+    rotation_ms: float | None = None
+    #: number of widespread locations used to evict the firmware cache
+    flush_locations: int = 16
+    #: flush reads issued between timing probes (should exceed the number
+    #: of firmware cache segments)
+    flush_reads_per_probe: int = 12
+    #: a response-time jump larger than this marks a boundary crossing
+    threshold_ms: float | None = None
+    max_spt: int = DEFAULT_MAX_SPT
+    #: disable these to demonstrate why the paper needs them
+    defeat_cache: bool = True
+    rotation_sync: bool = True
+
+    stats: ExtractionStats = field(default_factory=ExtractionStats)
+
+    def __post_init__(self) -> None:
+        if self.rotation_ms is None:
+            # Nominal spindle speed is printed on the drive's label / mode
+            # page; no timing expertise is needed to obtain it.
+            self.rotation_ms = self.drive.specs.rotation_ms
+        if self.threshold_ms is None:
+            # Half a head-switch time comfortably separates the linear
+            # growth from the jump at a boundary.
+            self.threshold_ms = max(0.2, self.drive.specs.head_switch_ms / 2.0)
+        self._now = 0.0
+        self._flush_cursor = 0
+        self._flush_lbns = self._pick_flush_locations()
+        # Fixed parking location, distinct from every flush location: the
+        # probe's seek always starts from here, so its duration (and thus
+        # the arrival phase on the target track) is the same for every
+        # probe of the same target.
+        total = self.drive.geometry.total_lbns
+        candidate = total // 2 + 7
+        while candidate in self._flush_lbns:
+            candidate += 1
+        self._park_lbn = min(candidate, total - 1)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def extract(
+        self, start_lbn: int = 0, end_lbn: int | None = None
+    ) -> tuple[TraxtentMap, ExtractionStats]:
+        """Extract every track boundary in [start_lbn, end_lbn)."""
+        total = self.drive.geometry.total_lbns
+        end = total if end_lbn is None else min(end_lbn, total)
+        if not 0 <= start_lbn < end:
+            raise ExtractionError("empty or invalid extraction range")
+        extents: list[Traxtent] = []
+        cursor = start_lbn
+        expected_spt: int | None = None
+        slope: float | None = None
+        while cursor < end:
+            remaining = end - cursor
+            found = None
+            if expected_spt is not None and slope is not None and remaining > expected_spt:
+                if self._verify_same_size(cursor, expected_spt, slope):
+                    found = expected_spt
+                    self.stats.fast_verifications += 1
+            if found is None:
+                found, slope = self._full_search(cursor, min(self.max_spt, remaining))
+                self.stats.full_searches += 1
+            if found <= 0:
+                raise ExtractionError(f"no boundary found after LBN {cursor}")
+            length = min(found, remaining)
+            extents.append(Traxtent(cursor, length))
+            self.stats.tracks_found += 1
+            expected_spt = found
+            cursor += length
+        self.stats.simulated_ms = self._now
+        return TraxtentMap(extents), self.stats
+
+    # ------------------------------------------------------------------ #
+    # Probing primitives
+    # ------------------------------------------------------------------ #
+    def _pick_flush_locations(self) -> list[int]:
+        total = self.drive.geometry.total_lbns
+        count = max(1, self.flush_locations)
+        stride = max(1, total // (count + 1))
+        return [min(total - 1, (i + 1) * stride) for i in range(count)]
+
+    def _flush_cache(self) -> None:
+        """Evict the probe target from the firmware cache by touching many
+        widespread locations, ending in a fixed parking area so the
+        subsequent probe's seek is (nearly) constant."""
+        if self.defeat_cache:
+            for _ in range(self.flush_reads_per_probe):
+                lbn = self._flush_lbns[self._flush_cursor % len(self._flush_lbns)]
+                self._flush_cursor += 1
+                done = self.drive.read(lbn, 1, self._now)
+                self._now = done.completion
+                self.stats.flush_reads += 1
+        # Always end at the fixed parking location so the probe's seek is a
+        # constant (the flush reads above have just evicted it from the
+        # cache, so this is a real media access that repositions the head).
+        park = self.drive.read(self._park_lbn, 1, self._now)
+        self._now = park.completion
+        self.stats.flush_reads += 1
+
+    def _synchronised_issue_time(self, phase_offset: float) -> float:
+        """Next issue time aligned to a fixed rotational phase (plus the
+        per-target calibration offset)."""
+        if not self.rotation_sync:
+            return self._now
+        rotation = float(self.rotation_ms)
+        phase = (self._now - phase_offset) % rotation
+        return self._now + (rotation - phase) % rotation
+
+    def _probe(self, lbn: int, count: int, phase_offset: float = 0.0) -> float:
+        """Measure the response time of one timing probe."""
+        self._flush_cache()
+        issue = self._synchronised_issue_time(phase_offset)
+        done = self.drive.read(lbn, count, issue)
+        self._now = done.completion
+        self.stats.probes += 1
+        return done.response_time
+
+    def _calibrate_phase(self, lbn: int) -> float:
+        """Pick the issue-phase offset that maximises the rotational-latency
+        cushion for probes targeting ``lbn``.
+
+        Probing at eight offsets spread over one revolution and keeping the
+        slowest guarantees at least seven eighths of a revolution of
+        latency before the first requested sector arrives; with that
+        cushion the zero-latency "flat" regime and the in-order bus
+        delivery artefacts always stay *below* the linear model, so the
+        only event that can push a probe above the model is a genuine
+        track crossing.
+        """
+        if not self.rotation_sync:
+            return 0.0
+        rotation = float(self.rotation_ms)
+        best_offset = 0.0
+        best_time = -1.0
+        for quarter in range(8):
+            offset = quarter * rotation / 8.0
+            elapsed = self._probe(lbn, 1, phase_offset=offset)
+            if elapsed > best_time:
+                best_time = elapsed
+                best_offset = offset
+        return best_offset
+
+    # ------------------------------------------------------------------ #
+    # Boundary search
+    # ------------------------------------------------------------------ #
+    def _linear_model(self, lbn: int, phase: float) -> tuple[float, float]:
+        """(base time for a 1-sector probe, per-sector slope) at ``lbn``."""
+        t1 = self._probe(lbn, 1, phase_offset=phase)
+        anchor = 9
+        t_anchor = self._probe(lbn, anchor, phase_offset=phase)
+        slope = max(1e-6, (t_anchor - t1) / (anchor - 1))
+        return t1, slope
+
+    def _crosses(
+        self, lbn: int, count: int, base: float, slope: float, phase: float
+    ) -> bool:
+        """Does a ``count``-sector read starting at ``lbn`` cross a track
+        boundary, according to the linear model?"""
+        measured = self._probe(lbn, count, phase_offset=phase)
+        expected = base + (count - 1) * slope
+        return measured > expected + float(self.threshold_ms)
+
+    def _full_search(self, lbn: int, limit: int) -> tuple[int, float]:
+        """Find the number of sectors remaining on the track at ``lbn``.
+
+        Returns (sectors on this track starting at lbn, per-sector slope).
+        """
+        phase = self._calibrate_phase(lbn)
+        base, slope = self._linear_model(lbn, phase)
+        # Exponential probe to bracket the boundary.
+        low = 1  # largest size known not to cross
+        high = None  # smallest size known to cross
+        size = 16
+        while size <= limit:
+            if self._crosses(lbn, size, base, slope, phase):
+                high = size
+                break
+            low = size
+            size *= 2
+        if high is None:
+            if limit < 2:
+                return limit, slope
+            if self._crosses(lbn, limit, base, slope, phase):
+                high = limit
+            else:
+                # The remaining range fits on this track.
+                return limit, slope
+        # Binary search for the smallest crossing size.
+        while high - low > 1:
+            mid = (low + high) // 2
+            if self._crosses(lbn, mid, base, slope, phase):
+                high = mid
+            else:
+                low = mid
+        # A request of `high` sectors crosses, `low` does not: the track
+        # holds `low` more sectors starting at lbn.
+        return low, slope
+
+    def _verify_same_size(self, lbn: int, spt: int, slope: float) -> bool:
+        """Quick check that the track starting at ``lbn`` also holds ``spt``
+        sectors (a handful of probes instead of a full binary search)."""
+        phase = self._calibrate_phase(lbn)
+        base = self._probe(lbn, 1, phase_offset=phase)
+        within = self._probe(lbn, spt, phase_offset=phase)
+        beyond = self._probe(lbn, spt + 1, phase_offset=phase)
+        model_within = base + (spt - 1) * slope
+        model_beyond = base + spt * slope
+        threshold = float(self.threshold_ms)
+        return within <= model_within + threshold and beyond > model_beyond + threshold

@@ -1,0 +1,193 @@
+"""Disk-efficiency analytics: the measurements behind Figures 1, 3, 6 and 8.
+
+*Disk efficiency* is the fraction of total access (head) time spent actually
+moving data to or from the media.  The maximum achievable ("streaming")
+efficiency is below 1.0 because no data moves while the head switches
+tracks; a random workload additionally pays seek and rotational-latency
+overheads per request.
+
+The helpers here run the raw-disk workloads of Section 5.2 on a simulated
+drive and reduce them to the curves the paper plots:
+
+* efficiency vs. I/O size for track-aligned and unaligned access (Fig. 1),
+* average head time vs. I/O size for onereq/tworeq (Fig. 6),
+* response-time mean and standard deviation vs. I/O size (Fig. 8),
+* expected rotational latency vs. request size (Fig. 3, analytic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..disksim.drive import DiskDrive, DiskRequest
+from ..disksim.mechanics import expected_rotational_latency_ms
+from ..disksim.queueing import WorkloadResult, run_onereq, run_tworeq
+from ..disksim.specs import SECTOR_SIZE, DiskSpecs
+from .access import random_unaligned_requests
+from .traxtent import TraxtentMap
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """One point of an efficiency / head-time curve."""
+
+    io_sectors: int
+    io_kb: float
+    head_time_ms: float
+    response_time_ms: float
+    response_time_std_ms: float
+    efficiency: float
+
+
+def max_streaming_efficiency(specs: DiskSpecs, zone_index: int = 0) -> float:
+    """Upper bound on efficiency: data moves during a whole revolution but
+    the skew (covering the head switch) moves none."""
+    from ..disksim.geometry import default_zones
+
+    zone = default_zones(specs)[zone_index]
+    return zone.sectors_per_track / (zone.sectors_per_track + zone.track_skew)
+
+
+def ideal_transfer_ms(specs: DiskSpecs, sectors: int, zone_spt: int) -> float:
+    """Media time needed to transfer ``sectors`` at full media rate."""
+    return sectors * specs.sector_time_ms(zone_spt)
+
+
+def _zone_aligned_requests(
+    traxtents: TraxtentMap,
+    sectors: int,
+    n_requests: int,
+    seed: int,
+) -> list[DiskRequest]:
+    """Random requests that *start* on a track boundary (track-aligned I/O
+    of arbitrary size, as in Figure 1's aligned curve).
+
+    A request of (nominal) track size issued against a slightly shorter
+    track (cylinder spares, slipped defects) is clipped to that track --
+    that is exactly what a traxtent-aware system does.
+    """
+    import random as _random
+
+    rng = _random.Random(seed)
+    count = len(traxtents)
+    nominal_track = max(extent.length for extent in traxtents)
+    requests = []
+    for _ in range(n_requests):
+        extent = traxtents[rng.randrange(count)]
+        start = extent.first_lbn
+        if sectors <= extent.length:
+            length = sectors
+        elif sectors <= nominal_track:
+            length = extent.length
+        else:
+            length = min(sectors, traxtents.end_lbn - start)
+        requests.append(DiskRequest.read(start, length))
+    return requests
+
+
+def measure_point(
+    drive: DiskDrive,
+    sectors: int,
+    aligned: bool,
+    queue_depth: int = 2,
+    n_requests: int = 1000,
+    seed: int = 1,
+    zone_index: int = 0,
+    op: str = "read",
+) -> EfficiencyPoint:
+    """Run one random-workload measurement and reduce it to a curve point.
+
+    ``queue_depth`` of 1 reproduces the paper's *onereq* workload, 2 its
+    *tworeq* workload.
+    """
+    geometry = drive.geometry
+    zone_start, zone_end = geometry.zone_lbn_range(zone_index)
+    zone_spt = geometry.zones[zone_index].sectors_per_track
+    if aligned:
+        traxtents = TraxtentMap.from_geometry(geometry, zone_start, zone_end)
+        requests = _zone_aligned_requests(traxtents, sectors, n_requests, seed)
+    else:
+        requests = random_unaligned_requests(
+            zone_start, zone_end, sectors, n_requests, seed
+        )
+    if op == "write":
+        requests = [DiskRequest.write(r.lbn, r.count) for r in requests]
+    drive.reset()
+    if queue_depth <= 1:
+        result: WorkloadResult = run_onereq(drive, requests)
+    else:
+        result = run_tworeq(drive, requests)
+    ideal = ideal_transfer_ms(drive.specs, sectors, zone_spt)
+    responses = result.response_times()
+    mean_resp = sum(responses) / len(responses)
+    std_resp = math.sqrt(
+        sum((r - mean_resp) ** 2 for r in responses) / len(responses)
+    )
+    head = result.mean_head_time
+    return EfficiencyPoint(
+        io_sectors=sectors,
+        io_kb=sectors * SECTOR_SIZE / 1024.0,
+        head_time_ms=head,
+        response_time_ms=mean_resp,
+        response_time_std_ms=std_resp,
+        efficiency=min(1.0, ideal / head) if head > 0 else 0.0,
+    )
+
+
+def efficiency_curve(
+    drive: DiskDrive,
+    sizes_sectors: Sequence[int],
+    aligned: bool,
+    queue_depth: int = 2,
+    n_requests: int = 500,
+    seed: int = 1,
+    zone_index: int = 0,
+    op: str = "read",
+) -> list[EfficiencyPoint]:
+    """Efficiency / head-time curve over a sweep of request sizes."""
+    return [
+        measure_point(
+            drive,
+            sectors,
+            aligned,
+            queue_depth=queue_depth,
+            n_requests=n_requests,
+            seed=seed + i,
+            zone_index=zone_index,
+            op=op,
+        )
+        for i, sectors in enumerate(sizes_sectors)
+    ]
+
+
+def rotational_latency_curve(
+    specs: DiskSpecs,
+    fractions: Sequence[float],
+    zero_latency: bool | None = None,
+) -> list[tuple[float, float]]:
+    """Figure 3: expected rotational latency vs. track-aligned request size
+    expressed as a fraction of the track."""
+    use_zero_latency = specs.zero_latency if zero_latency is None else zero_latency
+    return [
+        (
+            fraction,
+            expected_rotational_latency_ms(fraction, specs.rotation_ms, use_zero_latency),
+        )
+        for fraction in fractions
+    ]
+
+
+def crossover_size(
+    aligned_points: Sequence[EfficiencyPoint],
+    unaligned_points: Sequence[EfficiencyPoint],
+    target_efficiency: float,
+) -> float | None:
+    """Smallest unaligned I/O size (KB) whose efficiency reaches
+    ``target_efficiency`` -- the "Point B" of Figure 1, where unaligned
+    access finally catches up with track-aligned access at the track size."""
+    for point in unaligned_points:
+        if point.efficiency >= target_efficiency:
+            return point.io_kb
+    return None

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the disk simulator.
+
+All simulator-raised errors derive from :class:`DiskSimError` so callers can
+catch simulator problems without accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class DiskSimError(Exception):
+    """Base class for all disk-simulator errors."""
+
+
+class AddressError(DiskSimError):
+    """An LBN or physical address is outside the device's valid range."""
+
+
+class GeometryError(DiskSimError):
+    """The requested geometry is internally inconsistent.
+
+    Raised, for example, when a zone table does not cover every cylinder or
+    when zones overlap.
+    """
+
+
+class RequestError(DiskSimError):
+    """A disk request is malformed (zero length, bad opcode, bad timing)."""
+
+
+class MediaError(DiskSimError):
+    """An access touched a defective sector that is neither slipped nor
+    remapped (i.e., an unhandled grown defect)."""
+
+
+class SpecError(DiskSimError):
+    """A drive specification is missing required parameters or a named
+    drive model is unknown."""

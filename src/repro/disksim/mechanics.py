@@ -1,0 +1,222 @@
+"""Rotational mechanics: positioning and media-transfer timing on one track.
+
+This module answers the question "the head arrives above a track at time
+``t``; how long until the requested sectors have been transferred to or from
+the media?" for both *ordinary* and *zero-latency* (access-on-arrival)
+firmware (Section 2.2 of the paper).
+
+The answer depends on where the platter happens to be when the head arrives.
+Rotation is modelled as a global phase: at absolute time ``t`` the slot under
+the head on a track with ``spt`` slots is ``(t mod rotation) / rotation * spt``
+(shifted by the track's skew offset).  Because every caller derives arrival
+times from the same simulated clock, rotational positions stay mutually
+consistent across requests -- which is exactly what lets the track-boundary
+extraction algorithm "synchronise with the rotation speed" the way the paper
+describes.
+
+Ordinary access waits for the first requested sector and then transfers in
+ascending LBN order.  Zero-latency access starts transferring with whichever
+requested sector arrives first and reassembles the data in the buffer; a
+full-track request therefore completes in exactly one revolution regardless
+of the arrival phase (Figure 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MediaRun:
+    """A contiguous piece of media transfer, expressed in request-relative
+    sector indices and times relative to the head's arrival on the track.
+
+    ``rel_start`` is the index (in ascending-LBN order within the *whole*
+    request) of the first sector transferred by this run.  The bus model
+    uses runs to work out how much of the bus transfer can overlap the media
+    transfer under in-order delivery.
+    """
+
+    rel_start: int
+    count: int
+    t_begin: float
+    t_end: float
+
+
+@dataclass(frozen=True)
+class ArcAccess:
+    """Result of accessing one angular arc of requested sectors on a track."""
+
+    media_ms: float          # total time from head arrival to last sector
+    latency_ms: float        # portion of media_ms not spent transferring data
+    transfer_ms: float       # pure data-transfer portion
+    runs: tuple[MediaRun, ...]
+    end_slot: int            # physical slot under the head when done
+
+
+def arrival_slot(arrival_time: float, rotation_ms: float, spt: int) -> float:
+    """Fractional physical-slot index under the head at ``arrival_time``.
+
+    Slot angles are measured in the *unskewed* frame: slot ``s`` on a track
+    with skew offset ``k`` sits at angle ``(s + k) mod spt``.  This helper
+    returns the angular position in slot units; callers subtract the track's
+    skew offset to obtain the physical slot index.
+    """
+    if rotation_ms <= 0:
+        raise ValueError("rotation time must be positive")
+    phase = (arrival_time % rotation_ms) / rotation_ms
+    return phase * spt
+
+
+def access_arc(
+    spt: int,
+    sector_ms: float,
+    arc_start_slot: int,
+    arc_len: int,
+    skew_offset: int,
+    arrival_time: float,
+    rotation_ms: float,
+    zero_latency: bool,
+    rel_index_base: int = 0,
+) -> ArcAccess:
+    """Time the transfer of a contiguous arc of ``arc_len`` physical slots
+    beginning at ``arc_start_slot`` on a track of ``spt`` slots.
+
+    ``arrival_time`` is the absolute simulation time at which the head is
+    settled on the track and able to transfer.  ``rel_index_base`` is the
+    request-relative index of the arc's first sector (used to label the
+    returned :class:`MediaRun` objects for multi-track requests).
+    """
+    if arc_len <= 0:
+        raise ValueError("arc_len must be positive")
+    if arc_len > spt:
+        raise ValueError(f"arc of {arc_len} slots does not fit a {spt}-slot track")
+
+    # Angular position of the head and of the arc start, in slot units,
+    # both measured in the skewed (physical-slot) frame of this track.
+    head_angle = arrival_slot(arrival_time, rotation_ms, spt)
+    head_slot = (head_angle - skew_offset) % spt
+    # Offset of the head within the arc (may be fractional).
+    rel = (head_slot - arc_start_slot) % spt
+
+    transfer_ms = arc_len * sector_ms
+
+    if rel >= arc_len:
+        # Head is in the gap: both firmware types wait for the arc start and
+        # then transfer in ascending order.
+        latency = (spt - rel) * sector_ms
+        runs = (
+            MediaRun(
+                rel_start=rel_index_base,
+                count=arc_len,
+                t_begin=latency,
+                t_end=latency + transfer_ms,
+            ),
+        )
+        return ArcAccess(
+            media_ms=latency + transfer_ms,
+            latency_ms=latency,
+            transfer_ms=transfer_ms,
+            runs=runs,
+            end_slot=(arc_start_slot + arc_len) % spt,
+        )
+
+    # Head landed inside the arc.
+    if not zero_latency:
+        # Ordinary firmware still waits for the arc start to come around.
+        latency = (spt - rel) * sector_ms
+        runs = (
+            MediaRun(
+                rel_start=rel_index_base,
+                count=arc_len,
+                t_begin=latency,
+                t_end=latency + transfer_ms,
+            ),
+        )
+        return ArcAccess(
+            media_ms=latency + transfer_ms,
+            latency_ms=latency,
+            transfer_ms=transfer_ms,
+            runs=runs,
+            end_slot=(arc_start_slot + arc_len) % spt,
+        )
+
+    # Zero-latency firmware: read the tail of the arc immediately, let the
+    # gap rotate past, then read the head of the arc -- exactly one
+    # revolution when the arc is a whole track.
+    split = min(arc_len, int(rel) + 1)  # sectors that must wait for the wrap
+    tail_count = arc_len - split
+    media_ms = spt * sector_ms  # one full revolution
+    runs = []
+    if tail_count > 0:
+        # Sectors [split, arc_len) are transferred first.
+        t_begin = (split - rel) * sector_ms if split > rel else 0.0
+        runs.append(
+            MediaRun(
+                rel_start=rel_index_base + split,
+                count=tail_count,
+                t_begin=max(0.0, t_begin),
+                t_end=max(0.0, t_begin) + tail_count * sector_ms,
+            )
+        )
+    # Sectors [0, split) wrap around and are transferred last.
+    wrap_begin = media_ms - split * sector_ms
+    runs.append(
+        MediaRun(
+            rel_start=rel_index_base,
+            count=split,
+            t_begin=wrap_begin,
+            t_end=media_ms,
+        )
+    )
+    return ArcAccess(
+        media_ms=media_ms,
+        latency_ms=media_ms - transfer_ms,
+        transfer_ms=transfer_ms,
+        runs=tuple(runs),
+        end_slot=(arc_start_slot + int(rel)) % spt,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Closed-form expectations (used by Figure 3 and by admission control)
+# --------------------------------------------------------------------------- #
+
+def expected_rotational_latency_ms(
+    fraction_of_track: float,
+    rotation_ms: float,
+    zero_latency: bool,
+) -> float:
+    """Expected rotational latency for a track-aligned request covering
+    ``fraction_of_track`` of one track, with a uniformly random arrival
+    phase (the analytic curves of Figure 3).
+
+    For an ordinary disk the expectation stays near half a revolution
+    regardless of request size; for a zero-latency disk it falls linearly
+    to zero as the request approaches a full track.
+    """
+    if not 0.0 <= fraction_of_track <= 1.0:
+        raise ValueError("fraction_of_track must be within [0, 1]")
+    if rotation_ms <= 0:
+        raise ValueError("rotation time must be positive")
+    length = fraction_of_track
+    gap = 1.0 - length
+    if zero_latency:
+        # gap case: expected residual (1 + L)/2 - L; arc case: full rev - L.
+        latency_rev = gap * ((1.0 + length) / 2.0 - length) + length * (1.0 - length)
+        return latency_rev * rotation_ms
+    latency_rev = gap * (1.0 - length) / 2.0 + length * (1.0 - length / 2.0)
+    return latency_rev * rotation_ms
+
+
+def expected_access_ms(
+    fraction_of_track: float,
+    rotation_ms: float,
+    zero_latency: bool,
+) -> float:
+    """Expected media-access time (latency + transfer) for a track-aligned
+    request covering ``fraction_of_track`` of one track."""
+    transfer = fraction_of_track * rotation_ms
+    return transfer + expected_rotational_latency_ms(
+        fraction_of_track, rotation_ms, zero_latency
+    )

@@ -1,0 +1,96 @@
+"""SCSI query interface over a simulated drive.
+
+DIXtrac-style track-boundary extraction (Section 4.1.2 of the paper) relies
+on three SCSI facilities that real drives expose but the flat LBN interface
+hides:
+
+* ``READ CAPACITY``        -- the highest addressable LBN,
+* ``SEND/RECEIVE DIAGNOSTIC`` address translation -- LBN to physical
+  (cylinder, head, sector) and back, and
+* ``READ DEFECT LIST``      -- the factory/grown defect locations.
+
+:class:`ScsiInterface` implements those queries against a
+:class:`~repro.disksim.geometry.DiskGeometry`, counting how many
+translations a client performs so that extraction-efficiency claims
+("fewer than 30,000 LBN translations", "2-2.3 translations per track") can
+be checked experimentally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .defects import Defect
+from .errors import AddressError
+from .geometry import DiskGeometry, PhysicalAddress
+
+
+@dataclass
+class ScsiCounters:
+    """Number of SCSI queries issued through the interface."""
+
+    read_capacity: int = 0
+    translations: int = 0
+    defect_list: int = 0
+    mode_sense: int = 0
+
+    def total(self) -> int:
+        return (
+            self.read_capacity + self.translations + self.defect_list + self.mode_sense
+        )
+
+
+@dataclass
+class ScsiInterface:
+    """The query surface a SCSI initiator sees for one disk."""
+
+    geometry: DiskGeometry
+    counters: ScsiCounters = field(default_factory=ScsiCounters)
+
+    # ------------------------------------------------------------------ #
+    def read_capacity(self) -> int:
+        """Highest addressable LBN plus one (i.e., the device capacity in
+        sectors)."""
+        self.counters.read_capacity += 1
+        return self.geometry.total_lbns
+
+    def translate_lbn(self, lbn: int) -> PhysicalAddress:
+        """SEND/RECEIVE DIAGNOSTIC: translate an LBN to its physical
+        location."""
+        self.counters.translations += 1
+        return self.geometry.lbn_to_physical(lbn)
+
+    def translate_physical(self, cylinder: int, surface: int, sector: int) -> int | None:
+        """SEND/RECEIVE DIAGNOSTIC: translate a physical slot to the LBN it
+        holds.
+
+        Returns ``None`` when the slot exists but holds no LBN (spare space
+        or a defective sector) and raises :class:`AddressError` when the
+        physical address itself is invalid -- real drives distinguish the
+        two cases in their sense data, and DIXtrac relies on the
+        distinction.
+        """
+        self.counters.translations += 1
+        return self.geometry.physical_to_lbn(cylinder, surface, sector)
+
+    def read_defect_list(self) -> list[Defect]:
+        """READ DEFECT LIST: every known defect, in physical order."""
+        self.counters.defect_list += 1
+        return list(self.geometry.defects)
+
+    def mode_sense_geometry(self) -> dict[str, int]:
+        """MODE SENSE geometry page: cylinder/head counts.
+
+        Real drives report *nominal* values here; like DIXtrac, clients
+        should trust address translation over this page, but the counts are
+        handy for bounding search loops.
+        """
+        self.counters.mode_sense += 1
+        return {
+            "cylinders": self.geometry.cylinders,
+            "heads": self.geometry.surfaces,
+        }
+
+    # ------------------------------------------------------------------ #
+    def reset_counters(self) -> None:
+        self.counters = ScsiCounters()

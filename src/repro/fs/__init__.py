@@ -1,0 +1,38 @@
+"""FFS-like file-system substrate used by the Table 2 experiments."""
+
+from .allocation import AllocationCounters, ClusteredAllocation, TraxtentAllocation
+from .buffer_cache import BufferCache, CacheStats
+from .cylinder_groups import BlockMap, GroupSummary
+from .ffs import FFS, FFSConfig, FFSStats, VARIANTS
+from .inode import FileExists, FileSystemError, Inode, NoSuchFile, OutOfSpace
+from .readahead import (
+    DEFAULT_MAX_READAHEAD,
+    DefaultReadAhead,
+    FastStartReadAhead,
+    ReadState,
+    TraxtentReadAhead,
+)
+
+__all__ = [
+    "AllocationCounters",
+    "BlockMap",
+    "BufferCache",
+    "CacheStats",
+    "ClusteredAllocation",
+    "DEFAULT_MAX_READAHEAD",
+    "DefaultReadAhead",
+    "FFS",
+    "FFSConfig",
+    "FFSStats",
+    "FastStartReadAhead",
+    "FileExists",
+    "FileSystemError",
+    "GroupSummary",
+    "Inode",
+    "NoSuchFile",
+    "OutOfSpace",
+    "ReadState",
+    "TraxtentAllocation",
+    "TraxtentReadAhead",
+    "VARIANTS",
+]

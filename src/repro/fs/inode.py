@@ -1,0 +1,71 @@
+"""Inodes and the logical-to-physical block map of one file.
+
+FreeBSD FFS names every buffered block three ways (Figure 4 of the paper):
+``lblkno`` (offset within the file), ``blkno`` (physical file-system block)
+and the disk sector number (LBN).  The :class:`Inode` here stores the
+``lblkno`` -> ``blkno`` map as a plain list; the file system translates
+``blkno`` to LBNs with its partition geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class FileSystemError(Exception):
+    """Base error for the FFS model."""
+
+
+class NoSuchFile(FileSystemError):
+    """Path does not exist."""
+
+
+class FileExists(FileSystemError):
+    """Path already exists."""
+
+
+class OutOfSpace(FileSystemError):
+    """No free blocks satisfy an allocation request."""
+
+
+@dataclass
+class Inode:
+    """One file (or directory) and its block map."""
+
+    number: int
+    path: str
+    is_directory: bool = False
+    size_bytes: int = 0
+    #: lblkno -> blkno; append-only list because our workloads never truncate
+    #: in the middle of a file.
+    blocks: list[int] = field(default_factory=list)
+    #: cylinder group the inode itself lives in (locality hint)
+    group: int = 0
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    def blkno_of(self, lblkno: int) -> int:
+        if not 0 <= lblkno < len(self.blocks):
+            raise FileSystemError(
+                f"{self.path}: logical block {lblkno} beyond end of file"
+            )
+        return self.blocks[lblkno]
+
+    def last_blkno(self) -> int | None:
+        """Physical block of the last allocated block (allocation hint)."""
+        return self.blocks[-1] if self.blocks else None
+
+    def contiguous_run(self, lblkno: int) -> int:
+        """Length of the physically contiguous run of blocks starting at
+        ``lblkno`` (the "cluster" FFS read-ahead operates on)."""
+        if not 0 <= lblkno < len(self.blocks):
+            return 0
+        run = 1
+        while (
+            lblkno + run < len(self.blocks)
+            and self.blocks[lblkno + run] == self.blocks[lblkno + run - 1] + 1
+        ):
+            run += 1
+        return run

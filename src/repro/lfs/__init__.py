@@ -1,0 +1,31 @@
+"""Log-structured file system write-cost model (Section 5.5 of the paper)."""
+
+from .auspex import AuspexLikeWorkload, WriteOp
+from .cleaner import CleaningStats, LFSSimulator
+from .segments import LFSError, Segment, SegmentUsageTable
+from .writecost import (
+    OwcPoint,
+    optimal_segment_kb,
+    overall_write_cost_curve,
+    simulate_write_cost,
+    transfer_inefficiency_measured,
+    transfer_inefficiency_model,
+    write_cost_curve,
+)
+
+__all__ = [
+    "AuspexLikeWorkload",
+    "CleaningStats",
+    "LFSError",
+    "LFSSimulator",
+    "OwcPoint",
+    "Segment",
+    "SegmentUsageTable",
+    "WriteOp",
+    "optimal_segment_kb",
+    "overall_write_cost_curve",
+    "simulate_write_cost",
+    "transfer_inefficiency_measured",
+    "transfer_inefficiency_model",
+    "write_cost_curve",
+]

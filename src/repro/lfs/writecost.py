@@ -1,0 +1,162 @@
+"""Overall write cost (OWC): the Figure 10 metric.
+
+Matthews et al. express the cost of LFS writes as
+
+    OWC = WriteCost x TransferInefficiency
+
+where WriteCost depends only on the workload (how much data the cleaner has
+to move per byte of new data, as a function of segment size) and
+TransferInefficiency depends only on the disk (how much slower a
+segment-sized write is than a pure media transfer of the same size).
+
+The paper's key observation is that track-aligned access lowers
+TransferInefficiency enough that the OWC minimum moves to the track size --
+44 % lower overall write cost than unaligned access for track-sized
+segments -- so an LFS should use (variable-sized) segments matched to track
+boundaries rather than ever-larger fixed segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.efficiency import measure_point
+from ..disksim.drive import DiskDrive
+from ..disksim.specs import SECTOR_SIZE, DiskSpecs
+from .auspex import AuspexLikeWorkload
+from .cleaner import CleaningStats, LFSSimulator
+from .segments import SegmentUsageTable
+
+
+@dataclass(frozen=True)
+class OwcPoint:
+    """One point of the overall-write-cost curve."""
+
+    segment_kb: float
+    write_cost: float
+    transfer_inefficiency: float
+
+    @property
+    def overall_write_cost(self) -> float:
+        return self.write_cost * self.transfer_inefficiency
+
+
+# --------------------------------------------------------------------------- #
+# Workload half: write cost
+# --------------------------------------------------------------------------- #
+
+def simulate_write_cost(
+    table: SegmentUsageTable,
+    workload: AuspexLikeWorkload,
+    clean_reserve: int = 4,
+) -> CleaningStats:
+    """Replay the workload on a fresh log with the given segment layout."""
+    simulator = LFSSimulator(table, clean_reserve=clean_reserve)
+    return simulator.replay(workload.operations())
+
+
+def write_cost_curve(
+    start_lbn: int,
+    total_sectors: int,
+    segment_sizes_kb: Sequence[int],
+    workload: AuspexLikeWorkload,
+) -> dict[int, float]:
+    """WriteCost as a function of (fixed) segment size."""
+    curve: dict[int, float] = {}
+    for size_kb in segment_sizes_kb:
+        segment_sectors = size_kb * 1024 // SECTOR_SIZE
+        table = SegmentUsageTable.fixed_size(start_lbn, total_sectors, segment_sectors)
+        stats = simulate_write_cost(table, workload)
+        curve[size_kb] = stats.write_cost
+    return curve
+
+
+# --------------------------------------------------------------------------- #
+# Disk half: transfer inefficiency
+# --------------------------------------------------------------------------- #
+
+def transfer_inefficiency_model(
+    specs: DiskSpecs,
+    segment_bytes: int,
+    positioning_ms: float | None = None,
+    bandwidth_mb_s: float | None = None,
+) -> float:
+    """The analytic model Matthews et al. use:
+    ``Tpos * BW / Ssegment + 1`` (labelled "5.2 ms * 40 MB/s" in Figure 10).
+    """
+    if segment_bytes <= 0:
+        raise ValueError("segment size must be positive")
+    positioning = (
+        positioning_ms
+        if positioning_ms is not None
+        else specs.avg_seek_ms + specs.avg_rotational_latency_ms
+    )
+    bandwidth = bandwidth_mb_s if bandwidth_mb_s is not None else specs.peak_media_rate_mb_s
+    return positioning / 1000.0 * (bandwidth * 1e6) / segment_bytes + 1.0
+
+
+def transfer_inefficiency_measured(
+    drive: DiskDrive,
+    segment_sectors: int,
+    aligned: bool,
+    n_requests: int = 300,
+    queue_depth: int = 2,
+    zone_index: int = 0,
+    seed: int = 7,
+) -> float:
+    """Measured transfer inefficiency: (actual time per segment write) /
+    (pure media transfer time), using random segment-sized writes on the
+    simulated drive."""
+    point = measure_point(
+        drive,
+        sectors=segment_sectors,
+        aligned=aligned,
+        queue_depth=queue_depth,
+        n_requests=n_requests,
+        seed=seed,
+        zone_index=zone_index,
+        op="write",
+    )
+    if point.efficiency <= 0:
+        raise ValueError("measured zero efficiency; segment size too small?")
+    return 1.0 / point.efficiency
+
+
+# --------------------------------------------------------------------------- #
+# Putting the halves together
+# --------------------------------------------------------------------------- #
+
+def overall_write_cost_curve(
+    drive: DiskDrive,
+    segment_sizes_kb: Sequence[int],
+    workload: AuspexLikeWorkload,
+    log_start_lbn: int,
+    log_sectors: int,
+    aligned: bool,
+    n_requests: int = 200,
+) -> list[OwcPoint]:
+    """OWC(segment size) for aligned or unaligned segment placement --
+    one curve of Figure 10."""
+    write_costs = write_cost_curve(log_start_lbn, log_sectors, segment_sizes_kb, workload)
+    points: list[OwcPoint] = []
+    for size_kb in segment_sizes_kb:
+        sectors = size_kb * 1024 // SECTOR_SIZE
+        inefficiency = transfer_inefficiency_measured(
+            drive, sectors, aligned, n_requests=n_requests
+        )
+        points.append(
+            OwcPoint(
+                segment_kb=float(size_kb),
+                write_cost=write_costs[size_kb],
+                transfer_inefficiency=inefficiency,
+            )
+        )
+    return points
+
+
+def optimal_segment_kb(points: Sequence[OwcPoint]) -> float:
+    """Segment size minimising the overall write cost."""
+    if not points:
+        raise ValueError("no OWC points")
+    return min(points, key=lambda p: p.overall_write_cost).segment_kb

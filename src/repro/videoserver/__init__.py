@@ -1,0 +1,25 @@
+"""Video-server model and admission control (Section 5.4 of the paper)."""
+
+from .admission import (
+    HardAdmission,
+    SoftAdmission,
+    hard_admission,
+    round_time_percentile,
+    soft_admission,
+    worst_case_io_time_ms,
+)
+from .server import RoundMeasurement, VideoServer
+from .streams import DEFAULT_BIT_RATE, StreamSpec
+
+__all__ = [
+    "DEFAULT_BIT_RATE",
+    "HardAdmission",
+    "RoundMeasurement",
+    "SoftAdmission",
+    "StreamSpec",
+    "VideoServer",
+    "hard_admission",
+    "round_time_percentile",
+    "soft_admission",
+    "worst_case_io_time_ms",
+]

@@ -1,0 +1,163 @@
+"""Admission control: how many streams can one disk support?
+
+Two flavours, as in Section 5.4 of the paper:
+
+* **soft real-time** (RIO/Tiger style): measure the distribution of round
+  completion times for ``V`` simultaneous requests and admit as many
+  streams as keep a high percentile (99.99 % in the paper) of rounds within
+  the round budget.
+
+* **hard real-time**: assume the worst case for every component -- the
+  scheduled worst-case seek, a full revolution of rotational latency (zero
+  for track-aligned access on a zero-latency disk), a head switch for any
+  request that may cross a track boundary, and the media/bus transfer --
+  and admit only what provably fits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..disksim.drive import DiskDrive
+from ..disksim.seek import SeekCurve
+from ..disksim.specs import DiskSpecs
+from .streams import StreamSpec
+
+
+@dataclass(frozen=True)
+class HardAdmission:
+    """Result of the worst-case (hard real-time) admission computation."""
+
+    streams_per_disk: int
+    worst_case_io_ms: float
+    round_budget_s: float
+    disk_efficiency: float
+
+
+def worst_case_io_time_ms(
+    specs: DiskSpecs,
+    spec_stream: StreamSpec,
+    aligned: bool,
+    concurrent_streams: int,
+    zone_sectors_per_track: int | None = None,
+    zone_cylinders: int | None = None,
+) -> float:
+    """Worst-case service time of one per-stream I/O within a scheduled
+    round of ``concurrent_streams`` requests.
+
+    The seek term uses the paper's observation (footnote 2) that a round of
+    ``V`` sorted requests never does worse than one full-stroke sweep split
+    across the ``V`` requests, plus one settle per request.
+    """
+    if concurrent_streams <= 0:
+        raise ValueError("need at least one stream")
+    spt = zone_sectors_per_track or specs.max_sectors_per_track
+    cylinders = zone_cylinders or specs.cylinders
+    curve = SeekCurve.for_specs(specs)
+    sweep = curve.seek_time(max(1, cylinders - 1))
+    per_request_seek = sweep / concurrent_streams + specs.single_cylinder_seek_ms
+
+    sectors = spec_stream.io_size_sectors
+    transfer = sectors * specs.sector_time_ms(spt)
+    tracks_spanned = math.ceil(sectors / spt)
+
+    if aligned and specs.zero_latency:
+        rotational = 0.0
+        head_switches = max(0, tracks_spanned - 1) * specs.head_switch_ms
+    elif aligned:
+        # Aligned requests on an ordinary disk still avoid head switches but
+        # pay a full worst-case rotation.
+        rotational = specs.rotation_ms
+        head_switches = max(0, tracks_spanned - 1) * specs.head_switch_ms
+    else:
+        rotational = specs.rotation_ms
+        # An unaligned request of this size must assume it crosses at least
+        # one more boundary than an aligned one.
+        head_switches = tracks_spanned * specs.head_switch_ms
+    overhead = specs.command_overhead_ms
+    return per_request_seek + rotational + head_switches + transfer + overhead
+
+
+def hard_admission(
+    specs: DiskSpecs,
+    stream: StreamSpec,
+    aligned: bool,
+    zone_sectors_per_track: int | None = None,
+    zone_cylinders: int | None = None,
+) -> HardAdmission:
+    """Maximum streams per disk under hard real-time guarantees.
+
+    The admission test is self-referential (the per-request worst-case seek
+    shrinks as more streams are admitted, because the sweep is shared), so
+    the largest feasible V is found by direct search.
+    """
+    budget_ms = stream.round_budget_s * 1000.0
+    spt = zone_sectors_per_track or specs.max_sectors_per_track
+    peak_streams = int(
+        (spt * specs.sector_time_ms(spt) * 1000.0)  # generous upper bound
+    )
+    best = 0
+    worst_ms = worst_case_io_time_ms(
+        specs, stream, aligned, 1, zone_sectors_per_track, zone_cylinders
+    )
+    for candidate in range(1, max(2, peak_streams)):
+        per_io = worst_case_io_time_ms(
+            specs, stream, aligned, candidate, zone_sectors_per_track, zone_cylinders
+        )
+        if candidate * per_io <= budget_ms:
+            best = candidate
+            worst_ms = per_io
+        else:
+            break
+    transfer = stream.io_size_sectors * specs.sector_time_ms(spt)
+    efficiency = transfer / worst_ms if worst_ms > 0 else 0.0
+    return HardAdmission(
+        streams_per_disk=best,
+        worst_case_io_ms=worst_ms,
+        round_budget_s=stream.round_budget_s,
+        disk_efficiency=min(1.0, efficiency),
+    )
+
+
+@dataclass(frozen=True)
+class SoftAdmission:
+    """Result of the measured (soft real-time) admission computation."""
+
+    streams_per_disk: int
+    round_time_s: float
+    percentile: float
+    deadline_s: float
+
+
+def round_time_percentile(round_times_ms: list[float], percentile: float) -> float:
+    """The requested percentile (e.g. 0.9999) of measured round times."""
+    if not round_times_ms:
+        raise ValueError("no round times measured")
+    ordered = sorted(round_times_ms)
+    index = min(len(ordered) - 1, int(math.ceil(percentile * len(ordered))) - 1)
+    return ordered[max(0, index)]
+
+
+def soft_admission(
+    measured_rounds_ms: dict[int, list[float]],
+    stream: StreamSpec,
+    deadline_s: float | None = None,
+    percentile: float = 0.9999,
+) -> SoftAdmission:
+    """Largest stream count whose measured round-time percentile meets the
+    deadline (default: the stream's own round budget)."""
+    deadline = stream.round_budget_s if deadline_s is None else deadline_s
+    best_v = 0
+    best_round = 0.0
+    for streams in sorted(measured_rounds_ms):
+        p = round_time_percentile(measured_rounds_ms[streams], percentile) / 1000.0
+        if p <= deadline:
+            best_v = streams
+            best_round = p
+    return SoftAdmission(
+        streams_per_disk=best_v,
+        round_time_s=best_round,
+        percentile=percentile,
+        deadline_s=deadline,
+    )

@@ -1,0 +1,29 @@
+"""Workload generators used throughout the evaluation."""
+
+from .filebench import (
+    WorkloadResult,
+    copy_file,
+    diff_two_files,
+    head_many_files,
+    single_file_scan,
+)
+from .postmark import Postmark, PostmarkConfig, PostmarkResult
+from .sshbuild import SshBuild, SshBuildConfig, SshBuildResult
+from .synthetic import RandomWorkloadSpec, build_requests, run
+
+__all__ = [
+    "Postmark",
+    "PostmarkConfig",
+    "PostmarkResult",
+    "RandomWorkloadSpec",
+    "SshBuild",
+    "SshBuildConfig",
+    "SshBuildResult",
+    "WorkloadResult",
+    "build_requests",
+    "copy_file",
+    "diff_two_files",
+    "head_many_files",
+    "run",
+    "single_file_scan",
+]

@@ -1,0 +1,104 @@
+"""Postmark-like small-file transaction workload (Katcher).
+
+Postmark models the small-file activity of busy mail/news/web servers: a
+pool of small files receives a stream of transactions, each either a read or
+an append paired with either a create or a delete.  The paper runs Postmark
+v1.11 with its defaults -- 5-10 KB files, 1:1 read/append and create/delete
+ratios -- to confirm that traxtents neither help nor hurt small-file
+workloads (they are dominated by cache hits and small synchronous writes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..fs.ffs import FFS
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class PostmarkConfig:
+    """Workload knobs (defaults follow Postmark v1.11 as used in the paper)."""
+
+    initial_files: int = 500
+    transactions: int = 2000
+    min_file_bytes: int = 5 * KB
+    max_file_bytes: int = 10 * KB
+    read_bias: float = 0.5      # read vs append
+    create_bias: float = 0.5    # create vs delete
+    seed: int = 11
+
+
+@dataclass(frozen=True)
+class PostmarkResult:
+    transactions: int
+    elapsed_seconds: float
+    files_remaining: int
+
+    @property
+    def transactions_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.transactions / self.elapsed_seconds
+
+
+class Postmark:
+    """Run the transaction phase of a Postmark-like benchmark on an FFS."""
+
+    def __init__(self, fs: FFS, config: PostmarkConfig | None = None) -> None:
+        self.fs = fs
+        self.config = config or PostmarkConfig()
+        self._rng = random.Random(self.config.seed)
+        self._files: list[str] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    def _new_path(self) -> str:
+        path = f"/postmark/f{self._next_id:06d}"
+        self._next_id += 1
+        return path
+
+    def _file_size(self) -> int:
+        return self._rng.randint(self.config.min_file_bytes, self.config.max_file_bytes)
+
+    def _create_one(self) -> None:
+        path = self._new_path()
+        size = self._file_size()
+        self.fs.create(path, expected_bytes=size)
+        self.fs.write(path, size, sync=True)
+        self._files.append(path)
+
+    # ------------------------------------------------------------------ #
+    def setup(self) -> None:
+        """Create the initial file pool."""
+        for _ in range(self.config.initial_files):
+            self._create_one()
+        self.fs.sync()
+
+    def run(self) -> PostmarkResult:
+        """Execute the transaction phase and report transactions/second."""
+        if not self._files:
+            self.setup()
+        start_ms = self.fs.now_ms
+        for _ in range(self.config.transactions):
+            # Half of each transaction: read or append an existing file.
+            path = self._rng.choice(self._files)
+            if self._rng.random() < self.config.read_bias:
+                self.fs.read(path, 0, self.fs.stat(path).size_bytes or 1)
+            else:
+                self.fs.write(path, self._rng.randint(1 * KB, 4 * KB), sync=True)
+            # Other half: create a new file or delete an existing one.
+            if self._rng.random() < self.config.create_bias or len(self._files) < 2:
+                self._create_one()
+            else:
+                victim = self._files.pop(self._rng.randrange(len(self._files)))
+                self.fs.delete(victim)
+        self.fs.sync()
+        elapsed = (self.fs.now_ms - start_ms) / 1000.0
+        return PostmarkResult(
+            transactions=self.config.transactions,
+            elapsed_seconds=elapsed,
+            files_remaining=len(self._files),
+        )

@@ -1,0 +1,111 @@
+"""SSH-build: a software-development workload (Seltzer et al.).
+
+SSH-build replaces the Andrew benchmark: it unpacks the SSH source archive,
+runs configure, and builds the executable.  Its file-system activity is
+dominated by small synchronous writes and buffer-cache hits, so the paper
+uses it (together with Postmark) to confirm that traxtents impose no
+penalty on metadata-heavy small-file work.
+
+The simulation replays the workload's I/O shape -- many small source files
+unpacked, read repeatedly, and small object files written -- plus a fixed
+CPU component per phase representing compilation, which is what actually
+dominates the real benchmark's run time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..fs.ffs import FFS
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class SshBuildConfig:
+    """Shape of the simulated source tree and build."""
+
+    source_files: int = 400
+    mean_source_kb: int = 12
+    object_files: int = 250
+    mean_object_kb: int = 18
+    header_files: int = 80
+    #: CPU seconds charged per phase (unpack, configure, build); the build
+    #: phase of the real benchmark is compute-bound.
+    cpu_seconds: tuple[float, float, float] = (2.0, 8.0, 45.0)
+    seed: int = 23
+
+
+@dataclass(frozen=True)
+class SshBuildResult:
+    unpack_seconds: float
+    configure_seconds: float
+    build_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.unpack_seconds + self.configure_seconds + self.build_seconds
+
+
+class SshBuild:
+    """Three-phase software-build workload."""
+
+    def __init__(self, fs: FFS, config: SshBuildConfig | None = None) -> None:
+        self.fs = fs
+        self.config = config or SshBuildConfig()
+        self._rng = random.Random(self.config.seed)
+
+    def _charge_cpu(self, seconds: float) -> None:
+        self.fs.now_ms += seconds * 1000.0
+        self.fs.stats.cpu_time_ms += seconds * 1000.0
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> SshBuildResult:
+        config = self.config
+        # Phase 1: unpack the archive -- many small file creations.
+        start = self.fs.now_ms
+        for index in range(config.source_files):
+            size = max(1, int(self._rng.expovariate(1.0 / (config.mean_source_kb * KB))))
+            path = f"/ssh/src/f{index:04d}.c"
+            self.fs.create(path, expected_bytes=size)
+            self.fs.write(path, size, sync=True)
+        for index in range(config.header_files):
+            size = max(1, int(self._rng.expovariate(1.0 / (4 * KB))))
+            path = f"/ssh/src/h{index:04d}.h"
+            self.fs.create(path, expected_bytes=size)
+            self.fs.write(path, size, sync=True)
+        self.fs.sync()
+        self._charge_cpu(config.cpu_seconds[0])
+        unpack = (self.fs.now_ms - start) / 1000.0
+
+        # Phase 2: configure -- read headers and sources, write small
+        # Makefiles and config headers synchronously.
+        start = self.fs.now_ms
+        for index in range(config.header_files):
+            self.fs.read(f"/ssh/src/h{index:04d}.h", 0, 4 * KB)
+        for index in range(0, config.source_files, 4):
+            self.fs.read(f"/ssh/src/f{index:04d}.c", 0, 8 * KB)
+        for name in ("Makefile", "config.h", "config.status"):
+            path = f"/ssh/{name}"
+            self.fs.create(path)
+            self.fs.write(path, 6 * KB, sync=True)
+        self._charge_cpu(config.cpu_seconds[1])
+        configure = (self.fs.now_ms - start) / 1000.0
+
+        # Phase 3: build -- read every source (mostly cache hits), write an
+        # object file for most of them, then link.
+        start = self.fs.now_ms
+        for index in range(config.object_files):
+            source = f"/ssh/src/f{index % config.source_files:04d}.c"
+            self.fs.read(source, 0, config.mean_source_kb * KB)
+            size = max(1, int(self._rng.expovariate(1.0 / (config.mean_object_kb * KB))))
+            path = f"/ssh/obj/o{index:04d}.o"
+            self.fs.create(path, expected_bytes=size)
+            self.fs.write(path, size, sync=True)
+        self.fs.create("/ssh/ssh-binary", expected_bytes=1200 * KB)
+        self.fs.write("/ssh/ssh-binary", 1200 * KB)
+        self.fs.sync()
+        self._charge_cpu(config.cpu_seconds[2])
+        build = (self.fs.now_ms - start) / 1000.0
+        return SshBuildResult(unpack, configure, build)

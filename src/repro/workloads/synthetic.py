@@ -1,0 +1,75 @@
+"""Synthetic raw-disk workloads (onereq / tworeq random request streams).
+
+Thin wrappers around the request generators in :mod:`repro.core.access`,
+packaged here so benchmark code can import every workload from one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.access import (
+    interleave,
+    random_track_aligned_reads,
+    random_unaligned_requests,
+    sequential_requests,
+)
+from ..core.traxtent import TraxtentMap
+from ..disksim.drive import DiskDrive, DiskRequest
+from ..disksim.queueing import WorkloadResult, run_onereq, run_tworeq
+
+
+@dataclass(frozen=True)
+class RandomWorkloadSpec:
+    """A random constant-sized request workload within one zone."""
+
+    n_requests: int = 5000
+    queue_depth: int = 2          # 1 = onereq, 2 = tworeq
+    zone_index: int = 0
+    aligned: bool = True
+    op: str = "read"
+    seed: int = 1
+
+
+def build_requests(
+    drive: DiskDrive, spec: RandomWorkloadSpec, sectors: int | None = None
+) -> list[DiskRequest]:
+    """Materialise the request list for a workload spec.
+
+    ``sectors`` defaults to the zone's track size (whole-track requests).
+    """
+    geometry = drive.geometry
+    start, end = geometry.zone_lbn_range(spec.zone_index)
+    spt = geometry.zones[spec.zone_index].sectors_per_track
+    size = spt if sectors is None else sectors
+    if spec.aligned:
+        traxtents = TraxtentMap.from_geometry(geometry, start, end)
+        requests = random_track_aligned_reads(
+            traxtents, spec.n_requests, seed=spec.seed, op=spec.op,
+            sectors=None if sectors is None else sectors,
+        )
+    else:
+        requests = random_unaligned_requests(
+            start, end, size, spec.n_requests, seed=spec.seed, op=spec.op
+        )
+    return requests
+
+
+def run(drive: DiskDrive, spec: RandomWorkloadSpec, sectors: int | None = None) -> WorkloadResult:
+    """Run the workload and return per-request results and head times."""
+    requests = build_requests(drive, spec, sectors)
+    drive.reset()
+    if spec.queue_depth <= 1:
+        return run_onereq(drive, requests)
+    return run_tworeq(drive, requests)
+
+
+__all__ = [
+    "RandomWorkloadSpec",
+    "build_requests",
+    "interleave",
+    "random_track_aligned_reads",
+    "random_unaligned_requests",
+    "run",
+    "sequential_requests",
+]

@@ -1,0 +1,82 @@
+"""Shared fixtures: small drives so every test runs in milliseconds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.traxtent import TraxtentMap
+from repro.disksim import (
+    DefectList,
+    DiskDrive,
+    DiskGeometry,
+    ScsiInterface,
+    get_specs,
+    small_test_specs,
+)
+
+
+@pytest.fixture(scope="session")
+def small_specs():
+    """A reduced-capacity Atlas 10K II (3 zones x 12 cylinders)."""
+    return small_test_specs(cylinders_per_zone=12, num_zones=3)
+
+
+@pytest.fixture(scope="session")
+def clean_geometry(small_specs):
+    """Defect-free geometry for the small drive."""
+    return DiskGeometry(small_specs)
+
+
+@pytest.fixture(scope="session")
+def defective_geometry(small_specs):
+    """Geometry with a realistic sprinkling of slipped and remapped defects."""
+    return DiskGeometry.with_random_defects(small_specs, defect_count=10, seed=3)
+
+
+@pytest.fixture()
+def small_drive(small_specs):
+    """A fresh small drive (defect-free) for each test."""
+    return DiskDrive(small_specs)
+
+
+@pytest.fixture(scope="session")
+def medium_specs():
+    """A ~800 MB Atlas 10K II used by file-system and workload tests."""
+    return small_test_specs(cylinders_per_zone=400, num_zones=3)
+
+
+@pytest.fixture()
+def medium_drive(medium_specs):
+    return DiskDrive(medium_specs)
+
+
+@pytest.fixture(scope="session")
+def atlas_drive():
+    """A full-size Quantum Atlas 10K II (used where realistic seek
+    distances matter; callers reset it before measuring)."""
+    return DiskDrive.for_model("Quantum Atlas 10K II")
+
+
+@pytest.fixture()
+def defective_drive(small_specs, defective_geometry):
+    return DiskDrive(small_specs, geometry=defective_geometry)
+
+
+@pytest.fixture(scope="session")
+def atlas10k2_specs():
+    return get_specs("Quantum Atlas 10K II")
+
+
+@pytest.fixture(scope="session")
+def truth_map(clean_geometry):
+    return TraxtentMap.from_geometry(clean_geometry)
+
+
+@pytest.fixture(scope="session")
+def defective_truth_map(defective_geometry):
+    return TraxtentMap.from_geometry(defective_geometry)
+
+
+@pytest.fixture()
+def scsi(defective_geometry):
+    return ScsiInterface(defective_geometry)

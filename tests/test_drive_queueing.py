@@ -1,0 +1,196 @@
+"""Tests for the drive model and the onereq/tworeq/round drivers."""
+
+import pytest
+
+from repro.disksim import (
+    DiskDrive,
+    DiskRequest,
+    RequestError,
+    run_onereq,
+    run_round,
+    run_tworeq,
+)
+
+
+def _track(drive, index):
+    """(first_lbn, count) of the index-th track."""
+    geometry = drive.geometry
+    return geometry.track_bounds(index)
+
+
+# --------------------------------------------------------------------------- #
+# Request validation and bookkeeping
+# --------------------------------------------------------------------------- #
+
+def test_request_validation():
+    with pytest.raises(RequestError):
+        DiskRequest("erase", 0, 1)
+    with pytest.raises(RequestError):
+        DiskRequest.read(0, 0)
+    with pytest.raises(RequestError):
+        DiskRequest.read(-1, 4)
+
+
+def test_request_beyond_capacity_rejected(small_drive):
+    total = small_drive.geometry.total_lbns
+    with pytest.raises(RequestError):
+        small_drive.read(total - 2, 8, 0.0)
+
+
+def test_breakdown_components_sum_below_response(small_drive):
+    first, count = _track(small_drive, 5)
+    zone_spt = small_drive.geometry.zones[0].sectors_per_track
+    done = small_drive.read(first, count, 0.0)
+    assert done.response_time > 0
+    parts = (
+        done.seek_ms
+        + done.rotational_latency_ms
+        + done.head_switch_ms
+        + done.media_transfer_ms
+    )
+    assert parts <= done.response_time + 1e-6
+    assert done.media_transfer_ms == pytest.approx(
+        count * small_drive.specs.sector_time_ms(zone_spt), rel=0.01
+    )
+
+
+def test_stats_accumulate(small_drive):
+    small_drive.read(0, 64, 0.0)
+    small_drive.write(5000, 64, 100.0)
+    assert small_drive.stats.reads == 1
+    assert small_drive.stats.writes == 1
+    assert small_drive.stats.sectors_read == 64
+    assert small_drive.stats.sectors_written == 64
+    small_drive.reset()
+    assert small_drive.stats.requests == 0
+
+
+# --------------------------------------------------------------------------- #
+# Zero-latency vs ordinary behaviour
+# --------------------------------------------------------------------------- #
+
+def test_track_aligned_read_needs_one_revolution(small_drive):
+    """A whole-track read on a zero-latency disk: seek + exactly one
+    revolution of media time, no rotational latency.  Surface-0 tracks hold
+    no spare sectors, so the request covers the full physical track."""
+    first, count = _track(small_drive, 9)
+    done = small_drive.read(first, count, 0.0)
+    assert done.rotational_latency_ms == pytest.approx(0.0, abs=1e-6)
+    assert done.head_switch_ms == pytest.approx(0.0, abs=1e-6)
+    assert done.media_transfer_ms == pytest.approx(small_drive.specs.rotation_ms, rel=0.01)
+
+
+def test_unaligned_track_sized_read_pays_switch_and_latency(small_drive):
+    first, count = _track(small_drive, 8)
+    offset = count // 2
+    done = small_drive.read(first + offset, count, 0.0)
+    assert done.head_switch_ms >= small_drive.specs.head_switch_ms * 0.99
+    assert done.rotational_latency_ms > 0.0
+
+
+def test_zero_latency_disabled_costs_more(small_specs):
+    aligned_zl = DiskDrive(small_specs, zero_latency=True)
+    aligned_plain = DiskDrive(small_specs, zero_latency=False)
+    first, count = aligned_zl.geometry.track_bounds(4)
+    times_zl = []
+    times_plain = []
+    for start in (0.0, 7.1, 13.5, 20.3, 29.9):
+        aligned_zl.reset()
+        aligned_plain.reset()
+        times_zl.append(aligned_zl.read(first, count, start).response_time)
+        times_plain.append(aligned_plain.read(first, count, start).response_time)
+    assert sum(times_plain) > sum(times_zl)
+
+
+def test_sequential_reads_stream_at_media_rate(small_drive):
+    """Back-to-back sequential reads ride the firmware prefetch: no seek,
+    no rotational latency after the first request."""
+    first, count = _track(small_drive, 0)
+    chunk = 64
+    now = 0.0
+    results = []
+    for i in range(8):
+        done = small_drive.read(first + i * chunk, chunk, now)
+        results.append(done)
+        now = done.completion
+    # All but the first request are cache hits or streamed continuations.
+    assert all(r.cache_hit or r.streamed for r in results[1:])
+    tail_time = sum(r.response_time for r in results[1:])
+    ideal = 7 * chunk * small_drive.specs.sector_time_ms(count)
+    assert tail_time < ideal * 2.5
+
+
+def test_cache_hit_is_fast(small_drive):
+    first, count = _track(small_drive, 3)
+    miss = small_drive.read(first, 64, 0.0)
+    hit = small_drive.read(first, 64, miss.completion)
+    assert hit.cache_hit
+    assert hit.response_time < miss.response_time / 3
+
+
+def test_write_slower_than_read_for_same_extent(small_drive):
+    first, count = _track(small_drive, 6)
+    read = small_drive.read(first, count, 0.0)
+    small_drive.reset()
+    write = small_drive.write(first, count, 0.0)
+    assert write.settle_ms > 0
+    assert write.response_time > read.response_time * 0.9
+
+
+# --------------------------------------------------------------------------- #
+# onereq / tworeq / rounds
+# --------------------------------------------------------------------------- #
+
+def _random_track_requests(drive, n, seed=2):
+    import random
+
+    rng = random.Random(seed)
+    start, end = drive.geometry.zone_lbn_range(0)
+    first_track = drive.geometry.track_of_lbn(start)
+    last_track = drive.geometry.track_of_lbn(end - 1)
+    requests = []
+    for _ in range(n):
+        track = rng.randrange(first_track, last_track)
+        lbn, count = drive.geometry.track_bounds(track)
+        requests.append(DiskRequest.read(lbn, count))
+    return requests
+
+
+def test_tworeq_head_time_below_onereq(small_drive):
+    requests = _random_track_requests(small_drive, 120)
+    small_drive.reset()
+    one = run_onereq(small_drive, requests)
+    small_drive.reset()
+    two = run_tworeq(small_drive, requests)
+    assert two.mean_head_time < one.mean_head_time
+    # The benefit is roughly the bus transfer that gets overlapped.
+    assert one.mean_head_time - two.mean_head_time > 0.5
+
+
+def test_onereq_head_time_equals_response_time(small_drive):
+    requests = _random_track_requests(small_drive, 30)
+    result = run_onereq(small_drive, requests)
+    assert result.head_times == [c.response_time for c in result.completed]
+
+
+def test_round_elevator_not_slower_than_fifo(small_drive):
+    requests = _random_track_requests(small_drive, 25, seed=7)
+    small_drive.reset()
+    elevator = run_round(small_drive, requests, schedule="elevator")
+    small_drive.reset()
+    fifo = run_round(small_drive, requests, schedule="fifo")
+    assert elevator <= fifo * 1.02
+    with pytest.raises(ValueError):
+        run_round(small_drive, requests, schedule="sstf")
+
+
+def test_run_round_empty_is_zero(small_drive):
+    assert run_round(small_drive, []) == 0.0
+
+
+def test_workload_result_efficiency_bounded(small_drive):
+    requests = _random_track_requests(small_drive, 40)
+    result = run_tworeq(small_drive, requests)
+    spt = small_drive.geometry.zones[0].sectors_per_track
+    ideal = spt * small_drive.specs.sector_time_ms(spt)
+    assert 0.0 < result.efficiency(ideal) <= 1.0

@@ -1,0 +1,149 @@
+"""Efficiency analytics plus end-to-end checks of the paper's headline claims
+(on scaled-down configurations so the whole suite stays fast)."""
+
+import pytest
+
+from repro.analysis import format_series, format_table, histogram, relative_change
+from repro.core import (
+    GeneralExtractor,
+    TraxtentMap,
+    efficiency_curve,
+    max_streaming_efficiency,
+    measure_point,
+    rotational_latency_curve,
+)
+from repro.disksim import DiskDrive, get_specs
+from repro.fs import FFS
+
+
+# --------------------------------------------------------------------------- #
+# Efficiency measurement helpers
+# --------------------------------------------------------------------------- #
+
+def test_max_streaming_efficiency_below_one(atlas10k2_specs):
+    ceiling = max_streaming_efficiency(atlas10k2_specs)
+    assert 0.85 < ceiling < 0.95  # skew costs a few percent (Figure 1)
+
+
+def test_track_aligned_efficiency_beats_unaligned(atlas_drive, atlas10k2_specs):
+    spt = atlas10k2_specs.max_sectors_per_track
+    aligned = measure_point(atlas_drive, spt, aligned=True, n_requests=150, queue_depth=2)
+    unaligned = measure_point(atlas_drive, spt, aligned=False, n_requests=150, queue_depth=2)
+    assert aligned.efficiency > unaligned.efficiency
+    # Headline claim: ~50 % higher efficiency for track-sized requests.
+    assert aligned.efficiency / unaligned.efficiency > 1.3
+
+
+def test_efficiency_grows_with_request_size_unaligned(small_drive, small_specs):
+    spt = small_specs.max_sectors_per_track
+    points = efficiency_curve(
+        small_drive, [spt // 4, spt, spt * 4], aligned=False, n_requests=80
+    )
+    efficiencies = [p.efficiency for p in points]
+    assert efficiencies == sorted(efficiencies)
+
+
+def test_aligned_response_variance_lower(small_drive, small_specs):
+    """Figure 8: track-aligned access has a much smaller response-time
+    standard deviation at the track size."""
+    spt = small_specs.max_sectors_per_track
+    aligned = measure_point(small_drive, spt, aligned=True, n_requests=200, queue_depth=1)
+    unaligned = measure_point(small_drive, spt, aligned=False, n_requests=200, queue_depth=1)
+    assert aligned.response_time_std_ms < unaligned.response_time_std_ms
+
+
+def test_rotational_latency_curve_shapes(atlas10k2_specs):
+    fractions = [0.0, 0.25, 0.5, 0.75, 1.0]
+    zero_latency = rotational_latency_curve(atlas10k2_specs, fractions, zero_latency=True)
+    ordinary = rotational_latency_curve(atlas10k2_specs, fractions, zero_latency=False)
+    assert zero_latency[-1][1] == pytest.approx(0.0)
+    assert ordinary[-1][1] == pytest.approx(3.0)
+    assert all(z <= o + 1e-9 for (_, z), (_, o) in zip(zero_latency, ordinary))
+
+
+# --------------------------------------------------------------------------- #
+# Analysis helpers
+# --------------------------------------------------------------------------- #
+
+def test_format_table_and_series():
+    table = format_table(["name", "value"], [["a", 1.5], ["bb", 2]], title="demo")
+    assert "demo" in table and "bb" in table and "1.500" in table
+    series = format_series("curve", [(1, 2.0), (3, 4.0)], "x", "y")
+    assert "curve" in series and "4.000" in series
+
+
+def test_histogram_and_relative_change():
+    bins = histogram([1.0, 1.0, 2.0, 5.0], bins=4)
+    assert sum(count for _, count in bins) == 4
+    assert relative_change(10.0, 8.0) == pytest.approx(-0.2)
+    with pytest.raises(ValueError):
+        relative_change(0.0, 1.0)
+    with pytest.raises(ValueError):
+        histogram([], 3)
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end: detected map -> traxtent FFS -> measurable win
+# --------------------------------------------------------------------------- #
+
+def test_extracted_map_drives_traxtent_ffs(small_specs, clean_geometry, truth_map):
+    """The full pipeline of the paper: extract boundaries with the general
+    algorithm, hand the map to the file system, and observe track-aligned
+    allocation (no extracted-vs-truth divergence anywhere in the chain)."""
+    probe_drive = DiskDrive(small_specs, geometry=clean_geometry)
+    end = truth_map[24].end_lbn
+    extracted, _ = GeneralExtractor(probe_drive).extract(0, end)
+    assert extracted.to_pairs() == truth_map.restrict(0, end).to_pairs()
+
+    fs_drive = DiskDrive(small_specs, geometry=clean_geometry)
+    fs = FFS(
+        fs_drive,
+        partition_start_lbn=0,
+        partition_sectors=end,
+        variant="traxtent",
+        traxtents=extracted,
+    )
+    fs.create("/video.mpg")
+    fs.write("/video.mpg", 4 * 1024 * 1024)
+    fs.sync()
+    excluded = set(fs.allocation.excluded_blocks)
+    assert excluded.isdisjoint(fs.stat("/video.mpg").blocks)
+
+
+def test_headline_interleaved_scan_improvement(medium_specs):
+    """Table 2's qualitative story on a scaled-down diff: traxtent FFS is
+    measurably faster than the default for interleaved large-file reads,
+    while using smaller (track-sized) requests."""
+    results = {}
+    for variant in ("default", "traxtent"):
+        drive = DiskDrive(medium_specs)
+        fs = FFS(drive, partition_sectors=400 * 2048, variant=variant)
+        for path in ("/a", "/b"):
+            fs.create(path)
+            fs.write(path, 24 * 1024 * 1024)
+        fs.drop_caches()
+        start = fs.now_ms
+        offset = 0
+        while offset < 24 * 1024 * 1024:
+            fs.read("/a", offset, 65536)
+            fs.read("/b", offset, 65536)
+            offset += 65536
+        results[variant] = {
+            "seconds": (fs.now_ms - start) / 1000.0,
+            "mean_kb": fs.stats.mean_request_kb,
+        }
+    assert results["traxtent"]["seconds"] < results["default"]["seconds"]
+    # Traxtent requests gravitate to the track size (264 KB in this zone).
+    assert results["traxtent"]["mean_kb"] == pytest.approx(264.0, rel=0.2)
+
+
+def test_ground_truth_map_matches_all_extraction_methods(defective_geometry, defective_truth_map):
+    """All three extraction paths agree with each other and with geometry."""
+    from repro.core import DixtracExtractor, ScsiBoundaryScanner
+    from repro.disksim import ScsiInterface
+
+    dixtrac_map, _ = DixtracExtractor(ScsiInterface(defective_geometry)).extract()
+    scanner_map, _ = ScsiBoundaryScanner(ScsiInterface(defective_geometry)).extract()
+    assert dixtrac_map == defective_truth_map
+    assert scanner_map == defective_truth_map
+    assert dixtrac_map == scanner_map

@@ -1,0 +1,160 @@
+"""Tests for the three track-boundary extraction methods (Section 4.1)."""
+
+import pytest
+
+from repro.core import (
+    CharacterizationError,
+    DixtracExtractor,
+    GeneralExtractor,
+    ScsiBoundaryScanner,
+    TraxtentMap,
+)
+from repro.disksim import (
+    DiskDrive,
+    DiskGeometry,
+    ScsiInterface,
+    SpareScheme,
+    small_test_specs,
+)
+
+
+# --------------------------------------------------------------------------- #
+# DIXtrac (SCSI query based)
+# --------------------------------------------------------------------------- #
+
+def test_dixtrac_exact_on_clean_drive(clean_geometry, truth_map):
+    extracted, description = DixtracExtractor(ScsiInterface(clean_geometry)).extract()
+    assert extracted == truth_map
+    assert description.surfaces == clean_geometry.surfaces
+    assert len(description.zones) == len(clean_geometry.zones)
+    assert description.spare_scheme == SpareScheme.SECTORS_PER_CYLINDER
+
+
+def test_dixtrac_exact_with_defects(defective_geometry, defective_truth_map):
+    extracted, description = DixtracExtractor(
+        ScsiInterface(defective_geometry)
+    ).extract()
+    assert extracted == defective_truth_map
+    assert len(description.defects) == len(defective_geometry.defects)
+
+
+def test_dixtrac_translation_budget(defective_geometry):
+    """The paper: complete maps from 'fewer than 30,000 LBN translations',
+    essentially independent of capacity.  Our small drive needs far fewer;
+    the key property is that the count does not scale with track count."""
+    scsi = ScsiInterface(defective_geometry)
+    _, description = DixtracExtractor(scsi).extract()
+    tracks = defective_geometry.num_tracks
+    assert description.translations_used < 30_000
+    assert description.translations_used < tracks * 10
+
+
+def test_dixtrac_classifies_defect_handling(defective_geometry):
+    _, description = DixtracExtractor(ScsiInterface(defective_geometry)).extract()
+    truth = {
+        (d.cylinder, d.surface, d.sector): d.handling
+        for d in defective_geometry.defects
+    }
+    classified = description.defect_handling
+    matching = sum(
+        1 for key, handling in classified.items() if truth.get(key) == handling
+    )
+    assert matching >= int(0.9 * len(truth))
+
+
+def test_dixtrac_unknown_scheme_fails_loudly():
+    """Spare-track schemes are outside this DIXtrac's expertise, mirroring
+    the paper's observation that new sparing schemes can baffle it; the
+    failure must be an explicit error, not a silently wrong map."""
+    specs = small_test_specs().scaled(
+        spare_scheme=SpareScheme.TRACKS_PER_ZONE, spare_count=6
+    )
+    geometry = DiskGeometry(specs)
+    with pytest.raises(CharacterizationError):
+        DixtracExtractor(ScsiInterface(geometry)).extract()
+
+
+def test_dixtrac_handles_spare_free_drive():
+    specs = small_test_specs().scaled(spare_scheme=SpareScheme.NONE, spare_count=0)
+    geometry = DiskGeometry(specs)
+    extracted, description = DixtracExtractor(ScsiInterface(geometry)).extract()
+    assert extracted == TraxtentMap.from_geometry(geometry)
+    assert description.spare_scheme == SpareScheme.NONE
+
+
+# --------------------------------------------------------------------------- #
+# Expertise-free SCSI scanner
+# --------------------------------------------------------------------------- #
+
+def test_scanner_exact_with_defects(defective_geometry, defective_truth_map):
+    extracted, stats = ScsiBoundaryScanner(ScsiInterface(defective_geometry)).extract()
+    assert extracted == defective_truth_map
+    assert stats.tracks_found == len(defective_truth_map)
+
+
+def test_scanner_translation_efficiency(clean_geometry, truth_map):
+    """On a defect-free drive the per-surface prediction succeeds for almost
+    every track, so the scanner needs only a few translations per track
+    (the paper quotes 2-2.3 for most disks)."""
+    _, stats = ScsiBoundaryScanner(ScsiInterface(clean_geometry)).extract()
+    assert stats.translations_per_track < 5.0
+
+
+def test_scanner_fallback_works_as_dixtrac_backup():
+    """The combination the paper recommends: when DIXtrac's expert system
+    fails on an unknown sparing scheme, the SCSI fallback still produces an
+    exact map."""
+    specs = small_test_specs().scaled(
+        spare_scheme=SpareScheme.TRACKS_PER_ZONE, spare_count=6
+    )
+    geometry = DiskGeometry(specs)
+    truth = TraxtentMap.from_geometry(geometry)
+    extracted, _ = ScsiBoundaryScanner(ScsiInterface(geometry)).extract()
+    assert extracted == truth
+
+
+# --------------------------------------------------------------------------- #
+# General (timing based) extractor
+# --------------------------------------------------------------------------- #
+
+def test_general_extractor_exact_on_prefix(defective_geometry, defective_truth_map, small_specs):
+    drive = DiskDrive(small_specs, geometry=defective_geometry)
+    end = defective_truth_map[30].end_lbn
+    extracted, stats = GeneralExtractor(drive).extract(0, end)
+    assert extracted.to_pairs() == defective_truth_map.restrict(0, end).to_pairs()
+    assert stats.tracks_found == 31
+    assert stats.fast_verifications > 0
+
+
+def test_general_extractor_spans_zone_boundary(clean_geometry, truth_map, small_specs):
+    drive = DiskDrive(small_specs, geometry=clean_geometry)
+    zone0_end = clean_geometry.zone_lbn_range(0)[1]
+    start = truth_map.extent_of(zone0_end - 1).first_lbn
+    zone1_extents = [e for e in truth_map if e.first_lbn >= zone0_end]
+    end = zone1_extents[2].end_lbn  # three whole tracks into zone 1
+    extracted, _ = GeneralExtractor(drive).extract(start, end)
+    reference = [
+        extent for extent in truth_map if start <= extent.first_lbn and extent.end_lbn <= end
+    ]
+    assert extracted.to_pairs() == [(e.first_lbn, e.length) for e in reference]
+
+
+def test_general_extractor_fails_without_cache_defeat(clean_geometry, small_specs, truth_map):
+    """Without the interleaved cache-flushing reads, probe timings collapse
+    to cache hits and the extracted boundaries are wrong -- demonstrating
+    why the paper's algorithm goes to the trouble."""
+    drive = DiskDrive(small_specs, geometry=clean_geometry)
+    end = truth_map[6].end_lbn
+    extracted, _ = GeneralExtractor(drive, defeat_cache=False).extract(0, end)
+    reference = truth_map.restrict(0, end)
+    assert extracted.to_pairs() != reference.to_pairs()
+
+
+def test_general_extractor_counts_probe_overhead(clean_geometry, small_specs, truth_map):
+    drive = DiskDrive(small_specs, geometry=clean_geometry)
+    end = truth_map[10].end_lbn
+    _, stats = GeneralExtractor(drive).extract(0, end)
+    assert stats.probes > 0
+    assert stats.flush_reads > stats.probes  # flushing dominates the request count
+    assert stats.simulated_ms > 0
+    assert stats.probes_per_track > 1

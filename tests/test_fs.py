@@ -1,0 +1,233 @@
+"""Tests for the FFS model: block map, cache, allocation, read-ahead, engine."""
+
+import pytest
+
+from repro.disksim import DiskDrive
+from repro.fs import (
+    FFS,
+    BlockMap,
+    BufferCache,
+    FFSConfig,
+    FileExists,
+    FileSystemError,
+    NoSuchFile,
+    OutOfSpace,
+    TraxtentAllocation,
+)
+
+MB = 1024 * 1024
+
+
+def make_fs(medium_specs, variant, partition_mb=256, **config_kwargs):
+    drive = DiskDrive(medium_specs)
+    config = FFSConfig(**config_kwargs) if config_kwargs else None
+    return FFS(
+        drive,
+        partition_start_lbn=0,
+        partition_sectors=partition_mb * 2048,
+        variant=variant,
+        config=config,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# BlockMap
+# --------------------------------------------------------------------------- #
+
+def test_blockmap_states_and_groups():
+    block_map = BlockMap(total_blocks=1000, blocks_per_group=256, metadata_blocks_per_group=4)
+    assert block_map.num_groups == 4
+    assert not block_map.is_free(0)  # metadata
+    assert block_map.is_free(4)
+    block_map.allocate(4)
+    assert not block_map.is_free(4)
+    with pytest.raises(OutOfSpace):
+        block_map.allocate(4)
+    block_map.release(4)
+    assert block_map.is_free(4)
+    block_map.exclude(10)
+    assert block_map.is_excluded(10)
+    summary = block_map.summary(0)
+    assert summary.excluded_blocks == 1
+
+
+def test_blockmap_search_helpers():
+    block_map = BlockMap(total_blocks=100, blocks_per_group=100, metadata_blocks_per_group=2)
+    for block in range(2, 10):
+        block_map.allocate(block)
+    assert block_map.next_free(0) == 10
+    assert block_map.closest_free(3) in (10, None)
+    assert block_map.free_run_length(10, 5) == 5
+    assert block_map.find_free_run(0, 20) == 10
+
+
+# --------------------------------------------------------------------------- #
+# BufferCache
+# --------------------------------------------------------------------------- #
+
+def test_buffer_cache_hits_and_eviction():
+    cache = BufferCache(capacity_blocks=4)
+    for block in range(4):
+        cache.insert_clean(block)
+    assert cache.lookup(0)
+    cache.insert_clean(10)
+    # Block 1 (least recently used after 0 was touched) got evicted.
+    assert not cache.lookup(1)
+    assert cache.stats.evictions >= 1
+
+
+def test_buffer_cache_dirty_lifecycle():
+    cache = BufferCache(capacity_blocks=4)
+    cache.insert_dirty(7)
+    assert 7 in cache
+    assert cache.dirty_blocks == {7}
+    cache.mark_clean(7)
+    assert cache.dirty_blocks == set()
+    assert cache.lookup(7)
+    cache.invalidate(7)
+    assert 7 not in cache
+    with pytest.raises(ValueError):
+        BufferCache(0)
+
+
+# --------------------------------------------------------------------------- #
+# FFS engine basics
+# --------------------------------------------------------------------------- #
+
+def test_create_write_read_delete_cycle(medium_specs):
+    fs = make_fs(medium_specs, "default")
+    fs.create("/dir/file", expected_bytes=64 * 1024)
+    fs.write("/dir/file", 64 * 1024)
+    fs.sync()
+    assert fs.stat("/dir/file").size_bytes == 64 * 1024
+    assert fs.read("/dir/file", 0, 64 * 1024) == 64 * 1024
+    assert fs.read("/dir/file", 60 * 1024, 64 * 1024) == 4 * 1024
+    fs.delete("/dir/file")
+    with pytest.raises(NoSuchFile):
+        fs.read("/dir/file", 0, 1)
+
+
+def test_namespace_errors(medium_specs):
+    fs = make_fs(medium_specs, "default")
+    fs.create("/a")
+    with pytest.raises(FileExists):
+        fs.create("/a")
+    with pytest.raises(NoSuchFile):
+        fs.delete("/missing")
+    with pytest.raises(FileSystemError):
+        FFS(DiskDrive(medium_specs), variant="zfs")
+
+
+def test_blocks_allocated_contiguously_for_sequential_writes(medium_specs):
+    fs = make_fs(medium_specs, "default")
+    fs.create("/big")
+    fs.write("/big", 2 * MB)
+    fs.sync()
+    blocks = fs.stat("/big").blocks
+    contiguous = sum(
+        1 for i in range(1, len(blocks)) if blocks[i] == blocks[i - 1] + 1
+    )
+    assert contiguous >= len(blocks) * 0.95
+
+
+def test_write_clustering_issues_large_requests(medium_specs):
+    fs = make_fs(medium_specs, "default")
+    fs.create("/big")
+    fs.write("/big", 4 * MB)
+    fs.sync()
+    # 4 MB in 256 KB clusters -> roughly 16 writes, not hundreds.
+    assert fs.stats.disk_writes <= 20
+    assert fs.stats.mean_request_kb > 128
+
+
+def test_reads_hit_buffer_cache_on_reread(medium_specs):
+    fs = make_fs(medium_specs, "default")
+    fs.create("/f")
+    fs.write("/f", 1 * MB)
+    fs.sync()
+    fs.read_all("/f")
+    reads_before = fs.stats.disk_reads
+    fs.read_all("/f")
+    assert fs.stats.disk_reads == reads_before  # second scan fully cached
+
+
+def test_delete_frees_space(medium_specs):
+    fs = make_fs(medium_specs, "default")
+    free_before = fs.blockmap.free_blocks()
+    fs.create("/f")
+    fs.write("/f", 1 * MB)
+    fs.sync()
+    assert fs.blockmap.free_blocks() < free_before
+    fs.delete("/f")
+    assert fs.blockmap.free_blocks() == free_before
+
+
+def test_partition_bounds_checked(medium_specs):
+    drive = DiskDrive(medium_specs)
+    with pytest.raises(FileSystemError):
+        FFS(drive, partition_start_lbn=0, partition_sectors=drive.geometry.total_lbns + 10)
+
+
+# --------------------------------------------------------------------------- #
+# Traxtent-specific behaviour
+# --------------------------------------------------------------------------- #
+
+def test_traxtent_fs_excludes_boundary_blocks(medium_specs):
+    fs = make_fs(medium_specs, "traxtent")
+    assert isinstance(fs.allocation, TraxtentAllocation)
+    excluded = fs.excluded_block_count()
+    assert excluded > 0
+    # Roughly one excluded block per track that doesn't divide evenly.
+    assert excluded < fs.blockmap.total_blocks // 10
+
+
+def test_traxtent_files_never_use_excluded_blocks(medium_specs):
+    fs = make_fs(medium_specs, "traxtent")
+    fs.create("/f")
+    fs.write("/f", 8 * MB)
+    fs.sync()
+    excluded = set(fs.allocation.excluded_blocks)
+    assert excluded
+    assert not excluded.intersection(fs.stat("/f").blocks)
+
+
+def test_traxtent_read_requests_do_not_cross_boundaries(medium_specs):
+    fs = make_fs(medium_specs, "traxtent")
+    fs.create("/f")
+    fs.write("/f", 8 * MB)
+    fs.sync()
+    fs.drive.reset()
+    fs.read_all("/f")
+    traxtents = fs.traxtents
+    # Every media read issued during the scan stays within one traxtent.
+    for lbn in fs.file_lbns("/f")[:: 33]:
+        extent = traxtents.extent_of(lbn)
+        assert extent.first_lbn <= lbn < extent.end_lbn
+
+
+def test_traxtent_mid_size_file_fits_single_track(medium_specs):
+    fs = make_fs(medium_specs, "traxtent")
+    size = 128 * 1024  # well under one 264 KB track
+    fs.create("/mid", expected_bytes=size)
+    fs.write("/mid", size)
+    fs.sync()
+    lbns = fs.file_lbns("/mid")
+    extents = {fs.traxtents.extent_of(lbn).first_lbn for lbn in lbns}
+    assert len(extents) == 1
+
+
+def test_default_fs_requests_cross_boundaries_sometimes(medium_specs):
+    fs = make_fs(medium_specs, "default")
+    fs.create("/f")
+    fs.write("/f", 8 * MB)
+    fs.sync()
+    from repro.core import TraxtentMap
+
+    traxtents = TraxtentMap.from_geometry(fs.drive.geometry)
+    lbns = fs.file_lbns("/f")
+    crossing = sum(
+        1
+        for lbn in lbns
+        if traxtents.extent_of(lbn).end_lbn < lbn + fs.config.block_sectors
+    )
+    assert crossing > 0  # track-unaware placement straddles boundaries

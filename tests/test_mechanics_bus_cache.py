@@ -1,0 +1,211 @@
+"""Tests for rotational mechanics, the bus model and the firmware cache."""
+
+import pytest
+
+from repro.disksim import (
+    BusModel,
+    FirmwareCache,
+    MediaRun,
+    access_arc,
+    expected_access_ms,
+    expected_rotational_latency_ms,
+)
+
+ROTATION = 6.0
+SPT = 528
+SECTOR = ROTATION / SPT
+
+
+# --------------------------------------------------------------------------- #
+# access_arc
+# --------------------------------------------------------------------------- #
+
+def test_full_track_zero_latency_takes_one_revolution_any_phase():
+    for arrival in (0.0, 1.3, 2.9, 4.7, 5.99):
+        arc = access_arc(SPT, SECTOR, 0, SPT, 0, arrival, ROTATION, zero_latency=True)
+        assert arc.media_ms == pytest.approx(ROTATION)
+        assert arc.latency_ms == pytest.approx(0.0, abs=1e-9)
+
+
+def test_full_track_ordinary_pays_latency():
+    times = [
+        access_arc(SPT, SECTOR, 0, SPT, 0, arrival, ROTATION, zero_latency=False).media_ms
+        for arrival in (0.1, 1.7, 3.3, 5.2)
+    ]
+    # An ordinary disk needs between one and two revolutions.
+    assert all(ROTATION <= t <= 2 * ROTATION for t in times)
+    assert max(times) > ROTATION * 1.2
+
+
+def test_partial_arc_gap_arrival_equals_latency_plus_transfer():
+    # Head arrives in the gap: both firmware types behave identically.
+    arc_len = 100
+    arrival = 3.0  # head slot ~264, arc at slot 0..99 -> in gap
+    zl = access_arc(SPT, SECTOR, 0, arc_len, 0, arrival, ROTATION, True)
+    plain = access_arc(SPT, SECTOR, 0, arc_len, 0, arrival, ROTATION, False)
+    assert zl.media_ms == pytest.approx(plain.media_ms)
+    assert zl.transfer_ms == pytest.approx(arc_len * SECTOR)
+    assert zl.media_ms == pytest.approx(zl.latency_ms + zl.transfer_ms)
+
+
+def test_partial_arc_inside_arrival_zero_latency_wins():
+    arc_len = 400
+    arrival = 1.0  # head lands inside the arc
+    zl = access_arc(SPT, SECTOR, 0, arc_len, 0, arrival, ROTATION, True)
+    plain = access_arc(SPT, SECTOR, 0, arc_len, 0, arrival, ROTATION, False)
+    assert zl.media_ms == pytest.approx(ROTATION)
+    assert plain.media_ms > zl.media_ms
+    # The zero-latency transfer is split into two runs (wrap).
+    assert len(zl.runs) == 2
+
+
+def test_access_arc_rejects_bad_arcs():
+    with pytest.raises(ValueError):
+        access_arc(SPT, SECTOR, 0, 0, 0, 0.0, ROTATION, True)
+    with pytest.raises(ValueError):
+        access_arc(SPT, SECTOR, 0, SPT + 1, 0, 0.0, ROTATION, True)
+
+
+# --------------------------------------------------------------------------- #
+# Expected rotational latency (Figure 3)
+# --------------------------------------------------------------------------- #
+
+def test_expected_latency_ordinary_is_half_revolution_everywhere():
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        latency = expected_rotational_latency_ms(fraction, ROTATION, zero_latency=False)
+        assert latency == pytest.approx(ROTATION / 2)
+
+
+def test_expected_latency_zero_latency_falls_to_zero():
+    latencies = [
+        expected_rotational_latency_ms(f, ROTATION, zero_latency=True)
+        for f in (0.0, 0.25, 0.5, 0.75, 1.0)
+    ]
+    assert latencies[0] == pytest.approx(ROTATION / 2)
+    assert latencies[-1] == pytest.approx(0.0)
+    assert latencies == sorted(latencies, reverse=True)
+
+
+def test_expected_access_time_monotone_in_request_size():
+    values = [
+        expected_access_ms(f, ROTATION, zero_latency=True) for f in (0.1, 0.4, 0.8, 1.0)
+    ]
+    assert values == sorted(values)
+    with pytest.raises(ValueError):
+        expected_rotational_latency_ms(1.5, ROTATION, True)
+
+
+# --------------------------------------------------------------------------- #
+# Bus model
+# --------------------------------------------------------------------------- #
+
+def test_bus_in_order_streaming_overlaps_media():
+    bus = BusModel(rate_mb_per_s=160.0, in_order=True)
+    runs = [MediaRun(rel_start=0, count=528, t_begin=2.0, t_end=8.0)]
+    result = bus.read_completion(528, runs, earliest_start=0.0, bus_free=0.0)
+    # Data read in LBN order: the bus trails the media by roughly a sector.
+    assert result.completion == pytest.approx(8.0 + bus.sector_ms(), rel=0.05)
+    assert result.overlap_ms > 0.9 * result.transfer_ms
+
+
+def test_bus_in_order_wrapped_read_does_not_overlap():
+    bus = BusModel(rate_mb_per_s=160.0, in_order=True)
+    runs = [
+        MediaRun(rel_start=300, count=228, t_begin=2.0, t_end=4.6),
+        MediaRun(rel_start=0, count=300, t_begin=4.6, t_end=8.0),
+    ]
+    result = bus.read_completion(528, runs, earliest_start=0.0, bus_free=0.0)
+    assert result.completion == pytest.approx(8.0 + result.transfer_ms)
+    assert result.overlap_ms == pytest.approx(0.0)
+
+
+def test_bus_out_of_order_overlaps_wrapped_read():
+    bus = BusModel(rate_mb_per_s=160.0, in_order=False)
+    runs = [
+        MediaRun(rel_start=300, count=228, t_begin=2.0, t_end=4.6),
+        MediaRun(rel_start=0, count=300, t_begin=4.6, t_end=8.0),
+    ]
+    result = bus.read_completion(528, runs, earliest_start=0.0, bus_free=0.0)
+    assert result.completion < 8.0 + result.transfer_ms * 0.5
+
+
+def test_bus_cache_hit_costs_pure_wire_time():
+    bus = BusModel(rate_mb_per_s=160.0)
+    result = bus.read_completion(100, (), earliest_start=5.0, bus_free=0.0)
+    assert result.completion == pytest.approx(5.0 + bus.transfer_ms(100))
+
+
+def test_bus_respects_previous_transfer():
+    bus = BusModel(rate_mb_per_s=160.0)
+    result = bus.read_completion(100, (), earliest_start=0.0, bus_free=12.0)
+    assert result.completion >= 12.0
+
+
+def test_bus_write_data_ready_overlaps_seek():
+    bus = BusModel(rate_mb_per_s=160.0, command_overhead_ms=0.2)
+    first, done = bus.write_data_ready(issue_time=0.0, bus_free=0.0, total_sectors=528)
+    assert first < 0.5
+    assert done == pytest.approx(0.2 + bus.transfer_ms(528))
+
+
+def test_bus_rejects_nonsense():
+    with pytest.raises(ValueError):
+        BusModel(rate_mb_per_s=0.0)
+    bus = BusModel(rate_mb_per_s=160.0)
+    with pytest.raises(ValueError):
+        bus.read_completion(0, (), 0.0, 0.0)
+
+
+# --------------------------------------------------------------------------- #
+# Firmware cache
+# --------------------------------------------------------------------------- #
+
+def test_cache_hit_after_read():
+    cache = FirmwareCache(num_segments=4, readahead_sectors=0, enable_prefetch=False)
+    cache.record_read(1000, 64, media_end_time=10.0, streaming_ms_per_sector=0.01)
+    assert cache.lookup(1000, 64, now=11.0).full_hit
+    assert cache.lookup(1010, 32, now=11.0).full_hit
+    assert not cache.lookup(1064, 1, now=11.0).full_hit
+
+
+def test_cache_lru_eviction():
+    cache = FirmwareCache(num_segments=2, readahead_sectors=0, enable_prefetch=False)
+    cache.record_read(0, 8, 1.0, 0.01)
+    cache.record_read(100, 8, 2.0, 0.01)
+    cache.record_read(200, 8, 3.0, 0.01)
+    assert not cache.lookup(0, 8, 4.0).full_hit
+    assert cache.lookup(200, 8, 4.0).full_hit
+
+
+def test_prefetch_advances_with_time():
+    cache = FirmwareCache(num_segments=4, readahead_sectors=100)
+    cache.record_read(0, 10, media_end_time=0.0, streaming_ms_per_sector=0.01)
+    # After 0.5 ms the prefetch stream has covered ~50 more sectors.
+    lookup = cache.lookup(10, 40, now=0.5)
+    assert lookup.full_hit
+    # Beyond the prefetched point the request can stream from the prefetch
+    # position instead of paying a seek.
+    lookup_far = cache.lookup(10, 90, now=0.5)
+    assert not lookup_far.full_hit
+    assert lookup_far.stream_from is not None
+
+
+def test_prefetch_limited_by_readahead_window():
+    cache = FirmwareCache(num_segments=4, readahead_sectors=20)
+    cache.record_read(0, 10, media_end_time=0.0, streaming_ms_per_sector=0.01)
+    assert cache.prefetch_position(now=1000.0) == 30  # 10 + 20 cap
+
+
+def test_write_invalidates_overlap():
+    cache = FirmwareCache(num_segments=4, readahead_sectors=0, enable_prefetch=False)
+    cache.record_read(0, 100, 1.0, 0.01)
+    cache.record_write(40, 10)
+    assert cache.lookup(0, 40, 2.0).full_hit
+    assert not cache.lookup(40, 10, 2.0).full_hit
+    assert cache.lookup(50, 50, 2.0).full_hit
+
+
+def test_cache_disabled_never_hits():
+    cache = FirmwareCache(num_segments=4, readahead_sectors=64, enable_caching=False)
+    cache.record_read(0, 100, 1.0, 0.01)
+    assert not cache.lookup(0, 10, 2.0).full_hit

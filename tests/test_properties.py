@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import mean, percentile, stddev
+from repro.core import Traxtent, TraxtentMap, excluded_blocks
+from repro.disksim import BusModel, MediaRun, access_arc, expected_rotational_latency_ms
+from repro.disksim.seek import SeekCurve
+from repro.fs import BufferCache
+
+
+# --------------------------------------------------------------------------- #
+# TraxtentMap invariants
+# --------------------------------------------------------------------------- #
+
+@st.composite
+def traxtent_maps(draw):
+    """Random but valid traxtent maps: contiguous variable-sized tracks."""
+    n_tracks = draw(st.integers(min_value=1, max_value=60))
+    start = draw(st.integers(min_value=0, max_value=10_000))
+    lengths = draw(
+        st.lists(st.integers(min_value=16, max_value=700), min_size=n_tracks, max_size=n_tracks)
+    )
+    extents = []
+    cursor = start
+    for length in lengths:
+        extents.append(Traxtent(cursor, length))
+        cursor += length
+    return TraxtentMap(extents)
+
+
+@given(traxtent_maps(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_every_lbn_belongs_to_exactly_one_traxtent(tmap, data):
+    lbn = data.draw(st.integers(min_value=tmap.first_lbn, max_value=tmap.end_lbn - 1))
+    extent = tmap.extent_of(lbn)
+    assert extent.contains(lbn)
+    others = [e for e in tmap if e is not extent and e.contains(lbn)]
+    assert not others
+
+
+@given(traxtent_maps(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_clip_never_crosses_boundary(tmap, data):
+    lbn = data.draw(st.integers(min_value=tmap.first_lbn, max_value=tmap.end_lbn - 1))
+    count = data.draw(st.integers(min_value=1, max_value=5000))
+    clipped = tmap.clip(lbn, count)
+    assert 1 <= clipped <= count
+    assert not tmap.crosses_boundary(lbn, clipped)
+
+
+@given(traxtent_maps())
+@settings(max_examples=40, deadline=None)
+def test_serialisation_round_trip(tmap):
+    assert TraxtentMap.from_json(tmap.to_json()) == tmap
+    assert TraxtentMap.from_pairs(tmap.to_pairs()) == tmap
+
+
+@given(traxtent_maps(), st.integers(min_value=2, max_value=64))
+@settings(max_examples=40, deadline=None)
+def test_excluded_blocks_really_straddle(tmap, block_sectors):
+    for block in excluded_blocks(tmap, block_sectors):
+        start = block * block_sectors
+        extent = tmap.extent_of(start)
+        assert extent.end_lbn < start + block_sectors
+
+
+# --------------------------------------------------------------------------- #
+# Rotational mechanics invariants
+# --------------------------------------------------------------------------- #
+
+@given(
+    spt=st.integers(min_value=64, max_value=800),
+    arc_start=st.integers(min_value=0, max_value=799),
+    arc_len=st.integers(min_value=1, max_value=800),
+    skew=st.integers(min_value=0, max_value=200),
+    arrival=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    zero_latency=st.booleans(),
+)
+@settings(max_examples=200, deadline=None)
+def test_access_arc_bounds(spt, arc_start, arc_len, skew, arrival, zero_latency):
+    arc_len = min(arc_len, spt)
+    arc_start = arc_start % spt
+    rotation = 6.0
+    sector = rotation / spt
+    arc = access_arc(spt, sector, arc_start, arc_len, skew, arrival, rotation, zero_latency)
+    transfer = arc_len * sector
+    # Media time is at least the transfer and at most two revolutions.
+    assert arc.media_ms >= transfer - 1e-9
+    assert arc.media_ms <= 2 * rotation + 1e-9
+    if zero_latency:
+        assert arc.media_ms <= rotation + transfer + 1e-9
+    assert arc.latency_ms >= -1e-9
+    assert sum(run.count for run in arc.runs) == arc_len
+    for run in arc.runs:
+        assert run.t_end >= run.t_begin >= -1e-9
+
+
+@given(fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_zero_latency_never_worse_than_ordinary(fraction):
+    rotation = 6.0
+    zl = expected_rotational_latency_ms(fraction, rotation, True)
+    plain = expected_rotational_latency_ms(fraction, rotation, False)
+    assert zl <= plain + 1e-9
+    assert 0.0 <= zl <= rotation / 2 + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Seek curve invariants
+# --------------------------------------------------------------------------- #
+
+@given(
+    single=st.floats(min_value=0.2, max_value=2.0),
+    avg_extra=st.floats(min_value=0.5, max_value=10.0),
+    full_extra=st.floats(min_value=0.5, max_value=15.0),
+    cylinders=st.integers(min_value=100, max_value=50_000),
+)
+@settings(max_examples=100, deadline=None)
+def test_seek_curve_monotone_and_anchored(single, avg_extra, full_extra, cylinders):
+    avg = single + avg_extra
+    full = avg + full_extra
+    curve = SeekCurve.fit(single, avg, full, cylinders)
+    assert curve.seek_time(0) == 0.0
+    assert curve.seek_time(1) == single
+    previous = 0.0
+    for distance in range(1, cylinders, max(1, cylinders // 50)):
+        value = curve.seek_time(distance)
+        assert value >= previous - 1e-9
+        previous = value
+    assert curve.seek_time(cylinders - 1) <= full * 1.05
+
+
+# --------------------------------------------------------------------------- #
+# Bus completion invariants
+# --------------------------------------------------------------------------- #
+
+@given(
+    sectors=st.integers(min_value=1, max_value=1024),
+    media_start=st.floats(min_value=0.0, max_value=20.0),
+    duration=st.floats(min_value=0.1, max_value=20.0),
+    in_order=st.booleans(),
+)
+@settings(max_examples=150, deadline=None)
+def test_bus_completion_never_precedes_media_or_wire_time(
+    sectors, media_start, duration, in_order
+):
+    bus = BusModel(rate_mb_per_s=160.0, in_order=in_order)
+    runs = [MediaRun(0, sectors, media_start, media_start + duration)]
+    result = bus.read_completion(sectors, runs, earliest_start=0.0, bus_free=0.0)
+    assert result.completion >= media_start + duration
+    assert result.completion >= bus.transfer_ms(sectors)
+    assert 0.0 <= result.overlap_ms <= result.transfer_ms + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Buffer cache and statistics helpers
+# --------------------------------------------------------------------------- #
+
+@given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_buffer_cache_capacity_never_exceeded(blocks):
+    cache = BufferCache(capacity_blocks=16)
+    for block in blocks:
+        cache.insert_clean(block)
+    assert len(cache) <= 16
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+@settings(max_examples=80, deadline=None)
+def test_stats_helpers_consistent(values):
+    low, high = min(values), max(values)
+    slack = 1e-9 * max(1.0, abs(low), abs(high))  # float summation error
+    assert low - slack <= mean(values) <= high + slack
+    assert stddev(values) >= 0.0
+    assert percentile(values, 1.0) == high
+    assert low <= percentile(values, 0.5) <= high

@@ -1,0 +1,113 @@
+"""Tests for the drive specification database (paper Table 1)."""
+
+import pytest
+
+from repro.disksim import (
+    SECTOR_SIZE,
+    TABLE1_ORDER,
+    SpareScheme,
+    SpecError,
+    available_models,
+    get_specs,
+    small_test_specs,
+)
+
+
+def test_table1_models_all_present():
+    assert available_models() == list(TABLE1_ORDER)
+    for name in TABLE1_ORDER:
+        specs = get_specs(name)
+        assert specs.name == name
+
+
+def test_lookup_is_case_insensitive():
+    assert get_specs("quantum atlas 10k ii").name == "Quantum Atlas 10K II"
+
+
+def test_unknown_model_raises():
+    with pytest.raises(SpecError):
+        get_specs("Seagate Barracuda 7200.7")
+
+
+def test_atlas_10k_ii_matches_paper_table1():
+    specs = get_specs("Quantum Atlas 10K II")
+    assert specs.rpm == 10000
+    assert specs.head_switch_ms == pytest.approx(0.6)
+    assert specs.avg_seek_ms == pytest.approx(4.7)
+    assert specs.max_sectors_per_track == 528
+    assert specs.min_sectors_per_track == 353
+    assert specs.num_tracks == 52014
+    assert specs.zero_latency is True
+
+
+def test_rotation_time_follows_rpm():
+    assert get_specs("Quantum Atlas 10K II").rotation_ms == pytest.approx(6.0)
+    assert get_specs("Seagate Cheetah X15").rotation_ms == pytest.approx(4.0)
+    assert get_specs("HP C2247").rotation_ms == pytest.approx(60000 / 5400)
+
+
+def test_first_zone_track_size_matches_figure1():
+    # Figure 1 annotates the Atlas 10K II first zone as 264 KB per track.
+    specs = get_specs("Quantum Atlas 10K II")
+    assert specs.max_track_bytes == 264 * 1024
+
+
+def test_head_switch_trend_small_improvement():
+    """Table 1's point: head-switch time improved far less than seek/RPM."""
+    old = get_specs("HP C2247")
+    new = get_specs("Quantum Atlas 10K II")
+    assert old.rpm * 1.8 < new.rpm
+    assert old.avg_seek_ms > 2 * new.avg_seek_ms
+    # Head switch improved by well under a factor of two.
+    assert new.head_switch_ms > old.head_switch_ms / 2
+
+
+def test_sector_time_and_skew_consistency():
+    specs = get_specs("Quantum Atlas 10K II")
+    spt = specs.max_sectors_per_track
+    assert specs.sector_time_ms(spt) * spt == pytest.approx(specs.rotation_ms)
+    skew = specs.track_skew_sectors(spt)
+    # Skew must cover the head switch but stay a small fraction of a track.
+    assert skew * specs.sector_time_ms(spt) >= specs.head_switch_ms
+    assert skew < spt / 4
+
+
+def test_cylinder_skew_exceeds_track_skew():
+    specs = get_specs("Quantum Atlas 10K")
+    spt = specs.max_sectors_per_track
+    assert specs.cylinder_skew_sectors(spt) > specs.track_skew_sectors(spt)
+
+
+def test_scaled_copy_preserves_timing_parameters():
+    base = get_specs("Quantum Atlas 10K II")
+    small = small_test_specs()
+    assert small.rpm == base.rpm
+    assert small.head_switch_ms == base.head_switch_ms
+    assert small.max_sectors_per_track == base.max_sectors_per_track
+    assert small.num_tracks < base.num_tracks
+
+
+def test_invalid_specs_rejected():
+    base = get_specs("Quantum Atlas 10K II")
+    with pytest.raises(SpecError):
+        base.scaled(num_tracks=7)  # not a multiple of surfaces
+    with pytest.raises(SpecError):
+        base.scaled(rpm=0)
+    with pytest.raises(SpecError):
+        base.scaled(spare_scheme="bogus")
+
+
+def test_peak_media_rate_reasonable():
+    specs = get_specs("Quantum Atlas 10K II")
+    # 264 KB per 6 ms revolution is about 45 MB/s ("40 MB/s streaming").
+    assert 35 < specs.peak_media_rate_mb_s < 50
+
+
+def test_spare_scheme_constants():
+    assert set(SpareScheme.ALL) == {
+        SpareScheme.NONE,
+        SpareScheme.SECTORS_PER_TRACK,
+        SpareScheme.SECTORS_PER_CYLINDER,
+        SpareScheme.TRACKS_PER_ZONE,
+    }
+    assert SECTOR_SIZE == 512

@@ -1,0 +1,235 @@
+"""Tests for the video server, the LFS model and the macro-workloads."""
+
+import pytest
+
+from repro.disksim import DiskDrive, get_specs
+from repro.fs import FFS
+from repro.lfs import (
+    AuspexLikeWorkload,
+    LFSSimulator,
+    SegmentUsageTable,
+    simulate_write_cost,
+    transfer_inefficiency_model,
+)
+from repro.videoserver import (
+    StreamSpec,
+    VideoServer,
+    hard_admission,
+    round_time_percentile,
+    soft_admission,
+    worst_case_io_time_ms,
+)
+from repro.workloads import (
+    Postmark,
+    PostmarkConfig,
+    SshBuild,
+    SshBuildConfig,
+    copy_file,
+    diff_two_files,
+    head_many_files,
+    single_file_scan,
+)
+
+MB = 1024 * 1024
+
+
+# --------------------------------------------------------------------------- #
+# Video server
+# --------------------------------------------------------------------------- #
+
+def test_stream_spec_budgets():
+    stream = StreamSpec(io_size_bytes=264 * 1024)
+    assert stream.round_budget_s == pytest.approx(0.54, abs=0.02)
+    assert stream.buffer_bytes(10) == 20 * 264 * 1024
+    assert stream.startup_latency_s(0.5, disks=10) == pytest.approx(5.5)
+    with pytest.raises(ValueError):
+        StreamSpec(bit_rate=0)
+
+
+def test_hard_admission_matches_paper_section_542():
+    """264 KB I/Os at 4 Mb/s: about 67 aligned vs 36 unaligned streams per
+    disk (83 % vs 45 % efficiency); 528 KB I/Os: about 75 vs 52."""
+    specs = get_specs("Quantum Atlas 10K II")
+    small = StreamSpec(io_size_bytes=264 * 1024)
+    large = StreamSpec(io_size_bytes=528 * 1024)
+    aligned_small = hard_admission(specs, small, aligned=True, zone_sectors_per_track=528)
+    unaligned_small = hard_admission(specs, small, aligned=False, zone_sectors_per_track=528)
+    aligned_large = hard_admission(specs, large, aligned=True, zone_sectors_per_track=528)
+    unaligned_large = hard_admission(specs, large, aligned=False, zone_sectors_per_track=528)
+    assert 60 <= aligned_small.streams_per_disk <= 75
+    assert 32 <= unaligned_small.streams_per_disk <= 42
+    assert aligned_small.disk_efficiency == pytest.approx(0.83, abs=0.06)
+    assert unaligned_small.disk_efficiency == pytest.approx(0.45, abs=0.06)
+    assert 70 <= aligned_large.streams_per_disk <= 82
+    assert 46 <= unaligned_large.streams_per_disk <= 58
+    assert aligned_small.streams_per_disk > 1.5 * unaligned_small.streams_per_disk
+
+
+def test_worst_case_io_time_components():
+    specs = get_specs("Quantum Atlas 10K II")
+    stream = StreamSpec(io_size_bytes=264 * 1024)
+    aligned = worst_case_io_time_ms(specs, stream, True, 50, 528)
+    unaligned = worst_case_io_time_ms(specs, stream, False, 50, 528)
+    # Unaligned pays a full revolution plus a head switch more.
+    assert unaligned - aligned == pytest.approx(
+        specs.rotation_ms + specs.head_switch_ms, abs=0.2
+    )
+    with pytest.raises(ValueError):
+        worst_case_io_time_ms(specs, stream, True, 0)
+
+
+def test_soft_admission_from_measured_rounds(medium_specs):
+    drive = DiskDrive(medium_specs)
+    stream = StreamSpec(io_size_bytes=264 * 1024)
+    server = VideoServer(drive, stream, aligned=True, seed=3)
+    measured = server.measure_sweep([2, 4, 8], rounds=20)
+    assert set(measured) == {2, 4, 8}
+    admission = soft_admission(measured, stream, percentile=0.99)
+    assert admission.streams_per_disk in (2, 4, 8)
+    assert admission.round_time_s <= stream.round_budget_s
+    with pytest.raises(ValueError):
+        round_time_percentile([], 0.99)
+
+
+def test_aligned_rounds_complete_faster(medium_specs):
+    stream = StreamSpec(io_size_bytes=264 * 1024)
+    aligned_drive = DiskDrive(medium_specs)
+    unaligned_drive = DiskDrive(medium_specs)
+    aligned = VideoServer(aligned_drive, stream, aligned=True, seed=5)
+    unaligned = VideoServer(unaligned_drive, stream, aligned=False, seed=5)
+    aligned_round = aligned.measure_round_times(8, rounds=15).mean_ms
+    unaligned_round = unaligned.measure_round_times(8, rounds=15).mean_ms
+    assert aligned_round < unaligned_round
+
+
+def test_startup_latency_curve_grows_with_streams(medium_specs):
+    drive = DiskDrive(medium_specs)
+    stream = StreamSpec(io_size_bytes=264 * 1024)
+    server = VideoServer(drive, stream, aligned=True)
+    curve = server.startup_latency_curve([2, 6, 10], rounds=10, disks=10)
+    totals = [total for total, _ in curve]
+    latencies = [latency for _, latency in curve]
+    assert totals == [20, 60, 100]
+    assert latencies == sorted(latencies)
+
+
+# --------------------------------------------------------------------------- #
+# LFS
+# --------------------------------------------------------------------------- #
+
+def _small_workload():
+    return AuspexLikeWorkload(n_files=200, n_operations=2500, seed=9)
+
+
+def _log_sectors(workload):
+    live_bytes = int(
+        workload.n_files * workload.small_file_bytes * 1.5
+        + workload.n_files * workload.large_file_fraction * workload.large_file_bytes
+    )
+    return int(live_bytes * 1.4) // 512
+
+
+def test_segment_table_fixed_and_track_aligned(truth_map):
+    fixed = SegmentUsageTable.fixed_size(0, 100_000, 512)
+    assert len(fixed) == 100_000 // 512
+    aligned = SegmentUsageTable.track_aligned(truth_map)
+    assert len(aligned) > 0
+    lengths = {segment.length_sectors for segment in aligned}
+    assert lengths == {extent.length for extent in truth_map} or lengths <= {
+        extent.length for extent in truth_map
+    }
+
+
+def test_lfs_write_cost_above_one_with_cleaning():
+    workload = _small_workload()
+    table = SegmentUsageTable.fixed_size(0, _log_sectors(workload), 256)
+    stats = simulate_write_cost(table, workload)
+    assert stats.write_cost > 1.0
+    assert stats.segments_cleaned > 0
+    assert stats.clean_sectors_read >= stats.clean_sectors_written
+
+
+def test_lfs_write_cost_grows_with_segment_size():
+    workload = _small_workload()
+    sectors = _log_sectors(workload)
+    small = simulate_write_cost(
+        SegmentUsageTable.fixed_size(0, sectors, 128), workload
+    ).write_cost
+    large = simulate_write_cost(
+        SegmentUsageTable.fixed_size(0, sectors, 2048), workload
+    ).write_cost
+    assert large > small
+
+
+def test_lfs_overwrite_kills_old_data():
+    table = SegmentUsageTable.fixed_size(0, 10_000, 500)
+    simulator = LFSSimulator(table)
+    simulator.write_file(1, 100 * 1024)
+    before = simulator.live_sectors(1)
+    simulator.write_file(1, 50 * 1024)
+    after = simulator.live_sectors(1)
+    assert before == 200
+    assert after == 100
+    assert simulator.table.live_sectors() == after
+
+
+def test_transfer_inefficiency_model_shape():
+    specs = get_specs("Quantum Atlas 10K II")
+    small = transfer_inefficiency_model(specs, 64 * 1024)
+    track = transfer_inefficiency_model(specs, 264 * 1024)
+    huge = transfer_inefficiency_model(specs, 4 * 1024 * 1024)
+    assert small > track > huge > 1.0
+    with pytest.raises(ValueError):
+        transfer_inefficiency_model(specs, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Macro workloads (scaled down)
+# --------------------------------------------------------------------------- #
+
+def _fs(medium_specs, variant):
+    drive = DiskDrive(medium_specs)
+    return FFS(drive, partition_sectors=512 * 2048, variant=variant)
+
+
+def test_diff_workload_traxtent_faster(medium_specs):
+    default_time = diff_two_files(_fs(medium_specs, "default"), file_mb=32).run_seconds
+    traxtent_time = diff_two_files(_fs(medium_specs, "traxtent"), file_mb=32).run_seconds
+    assert traxtent_time < default_time
+
+
+def test_scan_workload_traxtent_comparable(medium_specs):
+    """Single-stream scans run at streaming rate for both variants; the
+    paper reports a ~5 % traxtent penalty from excluded blocks, and our
+    model stays within a few percent either way (the drive prefetch hides
+    most of the skipped-block passage)."""
+    default_time = single_file_scan(_fs(medium_specs, "default"), file_mb=64).run_seconds
+    traxtent_time = single_file_scan(_fs(medium_specs, "traxtent"), file_mb=64).run_seconds
+    assert abs(traxtent_time - default_time) / default_time < 0.15
+
+
+def test_copy_workload_traxtent_faster(medium_specs):
+    default_time = copy_file(_fs(medium_specs, "default"), file_mb=48).run_seconds
+    traxtent_time = copy_file(_fs(medium_specs, "traxtent"), file_mb=48).run_seconds
+    assert traxtent_time < default_time
+
+
+def test_head_workload_traxtent_penalty(medium_specs):
+    default_time = head_many_files(_fs(medium_specs, "default"), n_files=60).run_seconds
+    traxtent_time = head_many_files(_fs(medium_specs, "traxtent"), n_files=60).run_seconds
+    assert traxtent_time > default_time
+
+
+def test_postmark_similar_across_variants(medium_specs):
+    config = PostmarkConfig(initial_files=80, transactions=200)
+    default_tps = Postmark(_fs(medium_specs, "default"), config).run().transactions_per_second
+    traxtent_tps = Postmark(_fs(medium_specs, "traxtent"), config).run().transactions_per_second
+    assert default_tps > 0 and traxtent_tps > 0
+    assert abs(traxtent_tps - default_tps) / default_tps < 0.25
+
+
+def test_sshbuild_similar_across_variants(medium_specs):
+    config = SshBuildConfig(source_files=60, object_files=40, header_files=15)
+    default_total = SshBuild(_fs(medium_specs, "default"), config).run().total_seconds
+    traxtent_total = SshBuild(_fs(medium_specs, "traxtent"), config).run().total_seconds
+    assert abs(traxtent_total - default_total) / default_total < 0.05
