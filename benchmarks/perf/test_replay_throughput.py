@@ -1,0 +1,158 @@
+"""Replay-engine throughput benchmark: batched fan-out vs naive loop.
+
+Replays a >=50k-request synthetic trace (whole-track-aligned reads in the
+first zone, the paper's signature workload shape) three ways:
+
+* **naive**    -- one ``DiskDrive.submit`` call per request (the seed
+  repo's only option, measured on a 10k slice of the same trace),
+* **batched**  -- the ``TraceReplayEngine`` on a single drive,
+* **sharded**  -- the engine on a 4-drive ``LbnRangeShard`` fleet.
+
+Wall-clock requests/second for each mode is written to
+``BENCH_replay.json`` at the repository root (uploaded as a CI artifact)
+so future PRs have a perf trajectory.  The batched engine must beat the
+naive per-request loop by at least 3x, measured in the same run on the
+same machine.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import random
+import time
+
+from repro.disksim import DiskDrive, DiskRequest
+from repro.sim import LbnRangeShard, Trace, TraceReplayEngine
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "BENCH_replay.json"
+
+MODEL = "Quantum Atlas 10K II"
+TRACE_REQUESTS = 50_000
+NAIVE_REQUESTS = 10_000
+N_DRIVES = 4
+INTERARRIVAL_MS = 0.05
+MIN_SPEEDUP = 3.0
+
+
+def aligned_tracks(drive: DiskDrive) -> list[tuple[int, int]]:
+    """(first_lbn, sectors) of every data track in the first zone."""
+    geometry = drive.geometry
+    start, end = geometry.zone_lbn_range(0)
+    first_track = geometry.track_of_lbn(start)
+    last_track = geometry.track_of_lbn(end - 1)
+    tracks = []
+    for track in range(first_track, last_track + 1):
+        first, count = geometry.track_bounds(track)
+        if count > 0:
+            tracks.append((first, count))
+    return tracks
+
+
+def build_aligned_trace(drive: DiskDrive, n: int, seed: int = 42) -> Trace:
+    tracks = aligned_tracks(drive)
+    rng = random.Random(seed)
+    trace = Trace()
+    t = 0.0
+    for _ in range(n):
+        lbn, count = tracks[rng.randrange(len(tracks))]
+        trace.append(t, lbn, count, "read")
+        t += INTERARRIVAL_MS
+    return trace
+
+
+def to_fleet_trace(trace: Trace, fleet: LbnRangeShard, seed: int = 43) -> Trace:
+    """Spread a single-drive trace over the fleet's global LBN space."""
+    rng = random.Random(seed)
+    offsets = [fleet.shard_range(i)[0] for i in range(len(fleet))]
+    global_trace = Trace()
+    for t, lbn, count, op in zip(trace.issue_ms, trace.lbns, trace.counts, trace.ops):
+        global_trace.append(t, offsets[rng.randrange(len(offsets))] + lbn, count, op)
+    return global_trace
+
+
+def test_replay_throughput(record):
+    reference = DiskDrive.for_model(MODEL)
+    trace = build_aligned_trace(reference, TRACE_REQUESTS)
+    assert len(trace) >= 50_000
+    # Vectorized translation cache doubles as a trace sanity check: the
+    # whole trace is whole-track requests by construction.
+    aligned_fraction = trace.aligned_fraction(reference.geometry)
+    assert aligned_fraction == 1.0
+
+    # --- naive per-request loop (the seed baseline) -------------------- #
+    naive_drive = DiskDrive.for_model(MODEL)
+    t0 = time.perf_counter()
+    for t, lbn, count in zip(
+        trace.issue_ms[:NAIVE_REQUESTS],
+        trace.lbns[:NAIVE_REQUESTS],
+        trace.counts[:NAIVE_REQUESTS],
+    ):
+        naive_drive.submit(DiskRequest.read(lbn, count), t)
+    naive_s = time.perf_counter() - t0
+    naive_rps = NAIVE_REQUESTS / naive_s
+
+    # --- batched engine, single drive ---------------------------------- #
+    engine = TraceReplayEngine(DiskDrive.for_model(MODEL))
+    t0 = time.perf_counter()
+    batched_stats = engine.replay(trace)
+    batched_s = time.perf_counter() - t0
+    batched_rps = len(trace) / batched_s
+
+    # --- batched engine, 4-drive LBN-range shard ----------------------- #
+    fleet = LbnRangeShard.for_model(MODEL, N_DRIVES)
+    fleet_trace = to_fleet_trace(trace, fleet)
+    fleet_engine = TraceReplayEngine(fleet)
+    t0 = time.perf_counter()
+    sharded_stats = fleet_engine.replay(fleet_trace)
+    sharded_s = time.perf_counter() - t0
+    sharded_rps = len(fleet_trace) / sharded_s
+
+    assert batched_stats.issued_requests == len(trace)
+    assert sharded_stats.issued_requests == len(fleet_trace)
+    assert sum(d.stats.requests for d in fleet.drives) == len(fleet_trace)
+
+    speedup_batched = batched_rps / naive_rps
+    speedup_sharded = sharded_rps / naive_rps
+
+    payload = {
+        "model": MODEL,
+        "python": platform.python_version(),
+        "trace": {**trace.describe(), "aligned_fraction": aligned_fraction},
+        "naive": {"requests": NAIVE_REQUESTS, "seconds": naive_s, "rps": naive_rps},
+        "batched": {
+            "requests": len(trace),
+            "seconds": batched_s,
+            "rps": batched_rps,
+            "speedup_vs_naive": speedup_batched,
+            "sim": batched_stats.to_dict(),
+        },
+        "sharded": {
+            "drives": N_DRIVES,
+            "requests": len(fleet_trace),
+            "seconds": sharded_s,
+            "rps": sharded_rps,
+            "speedup_vs_naive": speedup_sharded,
+            "sim": sharded_stats.to_dict(),
+        },
+        "min_speedup_required": MIN_SPEEDUP,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "Replay throughput (wall-clock requests/second)",
+        f"  trace: {len(trace)} whole-track reads, {MODEL}",
+        f"  naive per-request loop : {naive_rps:>10.0f} rps",
+        f"  batched single drive   : {batched_rps:>10.0f} rps  ({speedup_batched:.2f}x)",
+        f"  sharded {N_DRIVES}-drive fleet  : {sharded_rps:>10.0f} rps  ({speedup_sharded:.2f}x)",
+        f"  sim throughput (fleet) : {sharded_stats.requests_per_second:>10.0f} req/s of simulated time",
+        f"  artifact: {BENCH_PATH.name}",
+    ]
+    record("BENCH_replay", "\n".join(lines))
+
+    assert speedup_batched >= MIN_SPEEDUP, (
+        f"batched replay only {speedup_batched:.2f}x faster than the naive "
+        f"loop (need >= {MIN_SPEEDUP}x): {batched_rps:.0f} vs {naive_rps:.0f} rps"
+    )

@@ -1,6 +1,6 @@
 """Table 1 (drive characteristics) and Figure 3 (rotational latency model)."""
 
-from repro.analysis import format_series, format_table
+from repro.analysis import format_table
 from repro.core import rotational_latency_curve
 from repro.disksim import available_models, get_specs
 

@@ -1,4 +1,10 @@
-"""Setuptools shim for environments without PEP 660 editable-install support."""
+"""Setuptools shim: all project metadata lives in pyproject.toml.
+
+Kept so environments without PEP 660 editable-install support can still run
+``pip install -e .`` via the legacy ``setup.py develop`` path; the src/
+package layout and the version are declared once, in pyproject.toml.
+"""
+
 from setuptools import setup
 
 setup()

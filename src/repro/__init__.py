@@ -9,9 +9,11 @@ The package is organised as:
 * :mod:`repro.videoserver`  -- round-based video server and admission control,
 * :mod:`repro.lfs`          -- log-structured file system write-cost model,
 * :mod:`repro.workloads`    -- workload generators used by the evaluation,
+* :mod:`repro.sim`          -- batched trace-replay engine and sharded
+  multi-drive fleets (the scale layer),
 * :mod:`repro.analysis`     -- statistics and report formatting helpers.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -19,8 +19,8 @@ fit track boundaries.  Two styles are covered:
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Iterator
 
 from .traxtent import Traxtent, TraxtentMap
 

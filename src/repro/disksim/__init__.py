@@ -18,7 +18,15 @@ Typical entry point::
 from .bus import BusModel, BusResult
 from .cache import CacheLookup, FirmwareCache
 from .defects import Defect, DefectHandling, DefectList
-from .drive import READ, WRITE, CompletedRequest, DiskDrive, DiskRequest, DriveStats
+from .drive import (
+    READ,
+    WRITE,
+    BatchResult,
+    CompletedRequest,
+    DiskDrive,
+    DiskRequest,
+    DriveStats,
+)
 from .errors import (
     AddressError,
     DiskSimError,
@@ -51,6 +59,7 @@ from .specs import (
 __all__ = [
     "AddressError",
     "ArcAccess",
+    "BatchResult",
     "BusModel",
     "BusResult",
     "CacheLookup",

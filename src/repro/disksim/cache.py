@@ -39,24 +39,20 @@ class CacheLookup:
 
 
 @dataclass
-class _Segment:
-    start: int
-    end: int  # exclusive
-
-    def contains(self, lbn: int) -> bool:
-        return self.start <= lbn < self.end
-
-
-@dataclass
 class FirmwareCache:
-    """LRU segment cache plus a single active prefetch stream."""
+    """LRU segment cache plus a single active prefetch stream.
+
+    Cached ranges are stored as plain ``(start, end)`` tuples (end
+    exclusive), oldest first -- the probe loops below are on the drive's
+    per-request hot path.
+    """
 
     num_segments: int = 10
     readahead_sectors: int = 1024
     enable_caching: bool = True
     enable_prefetch: bool = True
 
-    _segments: list[_Segment] = field(default_factory=list, init=False)
+    _segments: list[tuple[int, int]] = field(default_factory=list, init=False)
     _prefetch_start: int | None = field(default=None, init=False)
     _prefetch_limit: int = field(default=0, init=False)
     _prefetch_time: float = field(default=0.0, init=False)
@@ -81,9 +77,9 @@ class FirmwareCache:
         progressed = True
         while progressed:
             progressed = False
-            for segment in self._segments:
-                if segment.start <= end < segment.end:
-                    end = segment.end
+            for start, seg_end in self._segments:
+                if start <= end < seg_end:
+                    end = seg_end
                     progressed = True
             pos = self.prefetch_position(now)
             if (
@@ -95,17 +91,23 @@ class FirmwareCache:
                 progressed = True
         return end
 
-    def lookup(self, lbn: int, count: int, now: float) -> CacheLookup:
-        """Probe the cache for a read of ``count`` sectors at ``lbn``."""
+    def probe(self, lbn: int, count: int, now: float) -> tuple[bool, int, int | None]:
+        """Allocation-free cache probe: ``(full_hit, hit_sectors,
+        stream_from)``.
+
+        Identical semantics to :meth:`lookup`; the batched drive path uses
+        this tuple form to avoid constructing a :class:`CacheLookup` per
+        request.
+        """
         if count <= 0:
             raise ValueError("count must be positive")
         if not self.enable_caching:
-            return CacheLookup(full_hit=False, hit_sectors=0, stream_from=None)
+            return False, 0, None
         end = lbn + count
         buffered = self._buffered_until(lbn, now)
         hit = max(0, min(buffered, end) - lbn)
         if hit >= count:
-            return CacheLookup(full_hit=True, hit_sectors=count, stream_from=None)
+            return True, count, None
         # Can the remainder ride the active prefetch stream?
         stream_from = None
         if self.enable_prefetch and self._prefetch_start is not None:
@@ -116,7 +118,12 @@ class FirmwareCache:
             elif pos is not None and self._prefetch_start <= first_missing <= pos:
                 # The prefetch already passed this point; continue from here.
                 stream_from = first_missing
-        return CacheLookup(full_hit=False, hit_sectors=hit, stream_from=stream_from)
+        return False, hit, stream_from
+
+    def lookup(self, lbn: int, count: int, now: float) -> CacheLookup:
+        """Probe the cache for a read of ``count`` sectors at ``lbn``."""
+        full_hit, hit, stream_from = self.probe(lbn, count, now)
+        return CacheLookup(full_hit=full_hit, hit_sectors=hit, stream_from=stream_from)
 
     # ------------------------------------------------------------------ #
     # Updates
@@ -146,15 +153,15 @@ class FirmwareCache:
         if not self.enable_caching:
             return
         end = lbn + count
-        kept: list[_Segment] = []
-        for segment in self._segments:
-            if segment.end <= lbn or segment.start >= end:
-                kept.append(segment)
+        kept: list[tuple[int, int]] = []
+        for start, seg_end in self._segments:
+            if seg_end <= lbn or start >= end:
+                kept.append((start, seg_end))
                 continue
-            if segment.start < lbn:
-                kept.append(_Segment(segment.start, lbn))
-            if segment.end > end:
-                kept.append(_Segment(end, segment.end))
+            if start < lbn:
+                kept.append((start, lbn))
+            if seg_end > end:
+                kept.append((end, seg_end))
         self._segments = kept[-self.num_segments :]
         self._prefetch_start = None
 
@@ -165,16 +172,17 @@ class FirmwareCache:
 
     def _insert_segment(self, start: int, end: int) -> None:
         # Merge with any adjacent/overlapping segment, then LRU-trim.
-        merged = _Segment(start, end)
-        kept: list[_Segment] = []
-        for segment in self._segments:
-            if segment.end < merged.start or segment.start > merged.end:
-                kept.append(segment)
+        m_start, m_end = start, end
+        kept: list[tuple[int, int]] = []
+        for seg_start, seg_end in self._segments:
+            if seg_end < m_start or seg_start > m_end:
+                kept.append((seg_start, seg_end))
             else:
-                merged = _Segment(
-                    min(merged.start, segment.start), max(merged.end, segment.end)
-                )
-        kept.append(merged)
+                if seg_start < m_start:
+                    m_start = seg_start
+                if seg_end > m_end:
+                    m_end = seg_end
+        kept.append((m_start, m_end))
         if len(kept) > self.num_segments:
             kept = kept[-self.num_segments :]
         self._segments = kept
@@ -183,4 +191,4 @@ class FirmwareCache:
     @property
     def segments(self) -> list[tuple[int, int]]:
         """Cached LBN ranges, oldest first (exposed for tests)."""
-        return [(s.start, s.end) for s in self._segments]
+        return list(self._segments)

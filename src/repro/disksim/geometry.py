@@ -35,6 +35,16 @@ from .errors import AddressError, GeometryError
 from .specs import DiskSpecs, SpareScheme
 
 
+def _numpy():
+    """NumPy is optional and only accelerates :meth:`translate_batch`;
+    import lazily so ``import repro.disksim`` stays cheap without it."""
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - exercised only without numpy
+        return None
+    return numpy
+
+
 @dataclass(frozen=True)
 class PhysicalAddress:
     """A physical sector slot: (cylinder, surface, sector-on-track)."""
@@ -140,7 +150,12 @@ class DiskGeometry:
         self._remap_by_lbn: dict[int, PhysicalAddress] = {}
         self._remapped_slots: dict[tuple[int, int], set[int]] = {}
         self._total_lbns = 0
+        # Memo caches for the hot translation paths (values are pure
+        # functions of the immutable geometry, so sharing is safe).
+        self._skew_cache: dict[int, int] = {}
+        self._track_meta_cache: dict[int, tuple[int, int, int, int, int, int]] = {}
         self._build()
+        self._has_defects = bool(self.defects) or bool(self._remap_by_lbn)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -302,6 +317,13 @@ class DiskGeometry:
         return list(self._zones)
 
     @property
+    def has_defects(self) -> bool:
+        """True when the mapping is perturbed by slipped or remapped
+        defects (the batched fast paths bail out to the exact scalar code
+        whenever this is set)."""
+        return self._has_defects
+
+    @property
     def total_lbns(self) -> int:
         """Number of addressable logical blocks (READ CAPACITY)."""
         return self._total_lbns
@@ -455,6 +477,9 @@ class DiskGeometry:
         is how drives avoid losing a full revolution on sequential track
         switches.
         """
+        cached = self._skew_cache.get(track)
+        if cached is not None:
+            return cached
         cylinder, _ = self.track_to_cyl_surface(track)
         zone = self.zone_of_cylinder(cylinder)
         k = track - zone.first_track
@@ -462,8 +487,9 @@ class DiskGeometry:
         head_switches = k - cylinder_crossings
         offset = (
             head_switches * zone.track_skew + cylinder_crossings * zone.cylinder_skew
-        )
-        return offset % zone.sectors_per_track
+        ) % zone.sectors_per_track
+        self._skew_cache[track] = offset
+        return offset
 
     def slot_angle(self, track: int, sector: int) -> float:
         """Angular position of a physical slot, as a fraction of one
@@ -478,6 +504,80 @@ class DiskGeometry:
         """Physical slot index (on its own track) of an LBN, ignoring
         remapping (remapped LBNs are handled separately by the drive)."""
         return self.lbn_to_physical(lbn).sector
+
+    # ------------------------------------------------------------------ #
+    # Memoized / vectorized translation fast paths
+    # ------------------------------------------------------------------ #
+    def track_meta(self, track: int) -> tuple[int, int, int, int, int, int]:
+        """Memoized per-track tuple ``(first_lbn, lbn_count, cylinder,
+        surface, sectors_per_track, skew_offset)``.
+
+        This is the working set of the batched drive service path: one dict
+        probe replaces four separate geometry calls per request.
+        """
+        cached = self._track_meta_cache.get(track)
+        if cached is not None:
+            return cached
+        cylinder, surface = self.track_to_cyl_surface(track)
+        zone = self.zone_of_cylinder(cylinder)
+        meta = (
+            self._track_first_lbn[track],
+            self._track_lbn_count[track],
+            cylinder,
+            surface,
+            zone.sectors_per_track,
+            self.skew_offset(track),
+        )
+        self._track_meta_cache[track] = meta
+        return meta
+
+    def translate_batch(
+        self, lbns: Sequence[int]
+    ) -> tuple[list[int], list[int], list[int], list[int]]:
+        """Vectorized LBN-to-physical translation.
+
+        Returns parallel lists ``(tracks, cylinders, surfaces, sectors)``
+        for every LBN in ``lbns``.  On a defect-free geometry the whole
+        translation is computed with NumPy ``searchsorted`` when NumPy is
+        available; geometries with defects (and environments without NumPy)
+        fall back to the exact scalar path per LBN.  Results are always
+        identical to :meth:`lbn_to_physical`.
+        """
+        np = None if self._has_defects else _numpy()
+        if np is None:
+            tracks: list[int] = []
+            cylinders: list[int] = []
+            surfaces: list[int] = []
+            sectors: list[int] = []
+            for lbn in lbns:
+                addr = self.lbn_to_physical(lbn)
+                tracks.append(self.track_of_lbn(lbn))
+                cylinders.append(addr.cylinder)
+                surfaces.append(addr.surface)
+                sectors.append(addr.sector)
+            return tracks, cylinders, surfaces, sectors
+        arr = np.asarray(lbns, dtype=np.int64)
+        if arr.size and (arr.min() < 0 or arr.max() >= self._total_lbns):
+            bad = int(arr[(arr < 0) | (arr >= self._total_lbns)][0])
+            raise AddressError(f"LBN {bad} out of range (0..{self._total_lbns - 1})")
+        firsts = np.asarray(self._track_first_lbn, dtype=np.int64)
+        counts = np.asarray(self._track_lbn_count, dtype=np.int64)
+        track_arr = np.searchsorted(firsts, arr, side="right") - 1
+        # Zero-capacity (spare) tracks share first_lbn with the next real
+        # track; walk back over them exactly like the scalar path.
+        empty = counts[track_arr] == 0
+        while empty.any():
+            track_arr = np.where(empty, track_arr - 1, track_arr)
+            empty = counts[track_arr] == 0
+        cyl_arr = track_arr // self._surfaces
+        surf_arr = track_arr - cyl_arr * self._surfaces
+        sector_arr = arr - firsts[track_arr]
+        return (
+            track_arr.tolist(),
+            cyl_arr.tolist(),
+            surf_arr.tolist(),
+            sector_arr.tolist(),
+        )
 
     # ------------------------------------------------------------------ #
     # Convenience constructors

@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .defects import Defect
-from .errors import AddressError
 from .geometry import DiskGeometry, PhysicalAddress
 
 

@@ -28,7 +28,7 @@ zone, track sizes, streaming efficiency) are matched.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .errors import SpecError
 

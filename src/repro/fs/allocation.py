@@ -16,7 +16,7 @@ traxtent-aware policy (Section 4.2.2) changes two things only:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.allocator import excluded_blocks
 from ..core.traxtent import TraxtentMap

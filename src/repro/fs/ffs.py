@@ -23,7 +23,7 @@ so workload "run times" are directly comparable across variants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.traxtent import TraxtentMap
 from ..disksim.drive import DiskDrive

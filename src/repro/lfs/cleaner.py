@@ -10,10 +10,9 @@ comes from the disk simulator in :mod:`repro.lfs.writecost`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..disksim.specs import SECTOR_SIZE
-from .auspex import WriteOp
 from .segments import LFSError, Segment, SegmentUsageTable
 
 

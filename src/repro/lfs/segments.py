@@ -10,7 +10,7 @@ to track exactly as the paper's modified segment usage table does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.traxtent import TraxtentMap
 

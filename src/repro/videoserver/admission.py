@@ -19,7 +19,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..disksim.drive import DiskDrive
 from ..disksim.seek import SeekCurve
 from ..disksim.specs import DiskSpecs
 from .streams import StreamSpec

@@ -1,4 +1,11 @@
-"""Workload generators used throughout the evaluation."""
+"""Workload generators used throughout the evaluation.
+
+Every generator can also export its disk-level request stream as a
+:class:`repro.sim.Trace` for the batched replay engine: the synthetic
+raw-disk workloads via :func:`synthetic_to_trace`, the large-file
+macro-workloads via :func:`filebench_to_trace`, and the small-file
+benchmarks via :meth:`Postmark.to_trace` / :meth:`SshBuild.to_trace`.
+"""
 
 from .filebench import (
     WorkloadResult,
@@ -7,9 +14,11 @@ from .filebench import (
     head_many_files,
     single_file_scan,
 )
+from .filebench import to_trace as filebench_to_trace
 from .postmark import Postmark, PostmarkConfig, PostmarkResult
 from .sshbuild import SshBuild, SshBuildConfig, SshBuildResult
 from .synthetic import RandomWorkloadSpec, build_requests, run
+from .synthetic import to_trace as synthetic_to_trace
 
 __all__ = [
     "Postmark",
@@ -23,7 +32,9 @@ __all__ = [
     "build_requests",
     "copy_file",
     "diff_two_files",
+    "filebench_to_trace",
     "head_many_files",
     "run",
     "single_file_scan",
+    "synthetic_to_trace",
 ]

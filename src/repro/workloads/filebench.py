@@ -111,6 +111,27 @@ def copy_file(
     return _result(fs, "copy", setup_end, marker)
 
 
+def to_trace(drive, workload: str = "scan", variant: str = "default", **kwargs):
+    """Capture the disk-level trace of one large-file macro-workload as a
+    :class:`repro.sim.Trace`.
+
+    ``workload`` is one of ``scan``, ``diff``, ``copy`` or ``head``;
+    ``kwargs`` are forwarded to the workload function (e.g. ``file_mb``).
+    The trace covers the whole run including file creation, which is how
+    the paper's measurements were taken too (setup I/O hits the same disk).
+    """
+    from ..sim.trace import TraceRecordingDrive
+
+    if workload not in WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; pick one of {sorted(WORKLOADS)}"
+        )
+    recorder = TraceRecordingDrive(drive)
+    fs = FFS(recorder, variant=variant)
+    WORKLOADS[workload](fs, **kwargs)
+    return recorder.trace
+
+
 def head_many_files(
     fs: FFS, n_files: int = 1000, file_kb: int = 200
 ) -> WorkloadResult:
@@ -128,3 +149,13 @@ def head_many_files(
     for index in range(n_files):
         fs.read(f"/head/f{index:05d}", 0, 1)
     return _result(fs, "head*", setup_end, marker)
+
+
+#: Short names accepted by :func:`to_trace` (defined after the functions so
+#: the references are direct and statically checkable).
+WORKLOADS = {
+    "scan": single_file_scan,
+    "diff": diff_two_files,
+    "copy": copy_file,
+    "head": head_many_files,
+}

@@ -77,6 +77,34 @@ class Postmark:
             self._create_one()
         self.fs.sync()
 
+    @classmethod
+    def to_trace(
+        cls,
+        drive,
+        config: PostmarkConfig | None = None,
+        variant: str = "default",
+        include_setup: bool = False,
+    ):
+        """Capture the disk-level trace of a Postmark run as a
+        :class:`repro.sim.Trace`.
+
+        Builds an FFS of the requested ``variant`` on a recording proxy
+        around ``drive``, runs setup plus the transaction phase, and
+        returns the recorded request stream.  By default only the
+        transaction phase is kept (``include_setup=True`` keeps the file
+        pool creation too).
+        """
+        from ..sim.trace import Trace, TraceRecordingDrive
+
+        recorder = TraceRecordingDrive(drive)
+        fs = FFS(recorder, variant=variant)
+        bench = cls(fs, config)
+        bench.setup()
+        if not include_setup:
+            recorder.trace = Trace()
+        bench.run()
+        return recorder.trace
+
     def run(self) -> PostmarkResult:
         """Execute the transaction phase and report transactions/second."""
         if not self._files:

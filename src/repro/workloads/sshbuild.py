@@ -60,6 +60,23 @@ class SshBuild:
         self.fs.now_ms += seconds * 1000.0
         self.fs.stats.cpu_time_ms += seconds * 1000.0
 
+    @classmethod
+    def to_trace(
+        cls,
+        drive,
+        config: SshBuildConfig | None = None,
+        variant: str = "default",
+    ):
+        """Capture the disk-level trace of a full SSH-build run (all three
+        phases) as a :class:`repro.sim.Trace`."""
+        from ..fs.ffs import FFS as _FFS
+        from ..sim.trace import TraceRecordingDrive
+
+        recorder = TraceRecordingDrive(drive)
+        fs = _FFS(recorder, variant=variant)
+        cls(fs, config).run()
+        return recorder.trace
+
     # ------------------------------------------------------------------ #
     def run(self) -> SshBuildResult:
         config = self.config

@@ -64,6 +64,38 @@ def run(drive: DiskDrive, spec: RandomWorkloadSpec, sectors: int | None = None) 
     return run_tworeq(drive, requests)
 
 
+def to_trace(
+    drive: DiskDrive,
+    spec: RandomWorkloadSpec | None = None,
+    sectors: int | None = None,
+    interarrival_ms: float | None = None,
+    start_ms: float = 0.0,
+):
+    """Materialise this workload as a replayable :class:`repro.sim.Trace`.
+
+    With ``interarrival_ms`` set, requests form an open arrival stream with
+    fixed spacing (the shape the replay engine's open mode expects when
+    modelling offered load).  Otherwise the closed-loop driver selected by
+    ``spec.queue_depth`` is run against a fresh clone of ``drive`` and the
+    observed issue times are recorded, so the trace reproduces the paper's
+    onereq/tworeq timing.
+    """
+    from ..sim.trace import Trace, TraceRecordingDrive
+
+    spec = spec if spec is not None else RandomWorkloadSpec()
+    requests = build_requests(drive, spec, sectors)
+    if interarrival_ms is not None:
+        return Trace.from_requests(
+            requests, interarrival_ms=interarrival_ms, start_ms=start_ms
+        )
+    recorder = TraceRecordingDrive(drive.clone_fresh())
+    if spec.queue_depth <= 1:
+        run_onereq(recorder, requests, start_time=start_ms)
+    else:
+        run_tworeq(recorder, requests, start_time=start_ms)
+    return recorder.trace
+
+
 __all__ = [
     "RandomWorkloadSpec",
     "build_requests",
@@ -72,4 +104,5 @@ __all__ = [
     "random_unaligned_requests",
     "run",
     "sequential_requests",
+    "to_trace",
 ]

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.traxtent import TraxtentMap
 from repro.disksim import (
-    DefectList,
     DiskDrive,
     DiskGeometry,
     ScsiInterface,

@@ -13,7 +13,7 @@ from repro.core import (
     excluded_blocks,
     usable_block_runs,
 )
-from repro.disksim import AddressError, DiskGeometry, ScsiInterface, get_specs
+from repro.disksim import AddressError, DiskGeometry, get_specs
 
 
 # --------------------------------------------------------------------------- #

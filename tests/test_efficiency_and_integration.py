@@ -6,13 +6,12 @@ import pytest
 from repro.analysis import format_series, format_table, histogram, relative_change
 from repro.core import (
     GeneralExtractor,
-    TraxtentMap,
     efficiency_curve,
     max_streaming_efficiency,
     measure_point,
     rotational_latency_curve,
 )
-from repro.disksim import DiskDrive, get_specs
+from repro.disksim import DiskDrive
 from repro.fs import FFS
 
 

@@ -1,0 +1,367 @@
+"""Tests for the batched trace-replay engine (repro.sim)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.stats import percentile, percentiles, summarize
+from repro.disksim import DiskDrive, DiskGeometry, DiskRequest, RequestError
+from repro.sim import LbnRangeShard, Trace, TraceReplayEngine, TraceRecordingDrive
+from repro.workloads import Postmark, PostmarkConfig, filebench_to_trace, synthetic_to_trace
+from repro.workloads.synthetic import RandomWorkloadSpec
+
+
+def make_random_trace(
+    geometry: DiskGeometry,
+    n: int,
+    seed: int = 1,
+    write_fraction: float = 0.2,
+    max_sectors: int = 64,
+    interarrival_ms: float = 0.1,
+    lbn_span: tuple[int, int] | None = None,
+) -> Trace:
+    start, end = lbn_span if lbn_span else (0, geometry.total_lbns)
+    rng = random.Random(seed)
+    trace = Trace()
+    t = 0.0
+    for _ in range(n):
+        op = "write" if rng.random() < write_fraction else "read"
+        trace.append(t, rng.randrange(start, end - max_sectors), rng.randint(1, max_sectors), op)
+        t += interarrival_ms
+    return trace
+
+
+# --------------------------------------------------------------------------- #
+# Trace model
+# --------------------------------------------------------------------------- #
+def test_trace_basics(small_drive):
+    trace = Trace()
+    trace.append(0.0, 10, 4, "read")
+    trace.append(1.0, 50, 2, "write")
+    assert len(trace) == 2
+    assert trace.total_sectors == 6
+    assert trace.read_fraction == 0.5
+    assert trace.is_time_ordered()
+    rec = trace[1]
+    assert (rec.issue_ms, rec.lbn, rec.count, rec.op) == (1.0, 50, 2, "write")
+    with pytest.raises(RequestError):
+        trace.append(2.0, -1, 4, "read")
+    with pytest.raises(RequestError):
+        trace.append(2.0, 0, 0, "read")
+    with pytest.raises(RequestError):
+        trace.append(2.0, 0, 1, "erase")
+
+
+def test_trace_sorting_and_slicing():
+    trace = Trace([3.0, 1.0, 2.0], [30, 10, 20], [1, 1, 1], ["read"] * 3)
+    assert not trace.is_time_ordered()
+    ordered = trace.sorted_by_issue()
+    assert ordered.issue_ms == [1.0, 2.0, 3.0]
+    assert ordered.lbns == [10, 20, 30]
+    assert trace.slice(1).lbns == [10, 20]
+
+
+def test_recording_drive_captures_requests(small_drive):
+    recorder = TraceRecordingDrive(small_drive)
+    recorder.read(0, 8, 0.0)
+    recorder.write(100, 4, 5.0)
+    recorder.submit(DiskRequest.read(50, 2), 9.0)
+    trace = recorder.trace
+    assert len(trace) == 3
+    assert trace.ops == ["read", "write", "read"]
+    assert trace.lbns == [0, 100, 50]
+    # Proxy passes everything else through to the wrapped drive.
+    assert recorder.geometry is small_drive.geometry
+    assert small_drive.stats.requests == 3
+
+
+# --------------------------------------------------------------------------- #
+# Batched drive interface: exactness against the scalar path
+# --------------------------------------------------------------------------- #
+def test_batch_matches_sequential_reads_exactly(medium_specs):
+    """A batched replay must produce bitwise-identical timing to calling
+    DiskDrive.read once per request."""
+    geometry = DiskGeometry(medium_specs)
+    scalar = DiskDrive(medium_specs, geometry=geometry)
+    batched = DiskDrive(medium_specs, geometry=geometry)
+    trace = make_random_trace(geometry, 600, seed=7, write_fraction=0.0, max_sectors=400)
+
+    sequential = [
+        scalar.read(lbn, count, t)
+        for t, lbn, count in zip(trace.issue_ms, trace.lbns, trace.counts)
+    ]
+    result = batched.submit_batch(trace.ops, trace.lbns, trace.counts, trace.issue_ms)
+
+    assert len(result) == len(sequential)
+    for i, done in enumerate(sequential):
+        assert result.completions[i] == done.completion
+        assert result.media_ends[i] == done.media_end
+        assert result.seek_ms[i] == done.seek_ms
+        assert result.latency_ms[i] == done.rotational_latency_ms
+        assert result.transfer_ms[i] == done.media_transfer_ms
+        assert result.bus_ms[i] == done.bus_ms
+        assert result.overlap_ms[i] == done.bus_overlap_ms
+        assert result.cache_hits[i] == done.cache_hit
+        assert result.streamed[i] == done.streamed
+    assert scalar.stats == batched.stats
+    assert (scalar.head_cylinder, scalar.head_surface) == (
+        batched.head_cylinder,
+        batched.head_surface,
+    )
+    assert (scalar.actuator_free, scalar.bus_free) == (
+        batched.actuator_free,
+        batched.bus_free,
+    )
+
+
+def test_batch_matches_sequential_mixed_ops(medium_specs):
+    geometry = DiskGeometry(medium_specs)
+    scalar = DiskDrive(medium_specs, geometry=geometry)
+    batched = DiskDrive(medium_specs, geometry=geometry)
+    trace = make_random_trace(geometry, 500, seed=11, write_fraction=0.4)
+    sequential = [
+        scalar.submit(DiskRequest(op, lbn, count), t)
+        for t, lbn, count, op in zip(trace.issue_ms, trace.lbns, trace.counts, trace.ops)
+    ]
+    result = batched.submit_batch(trace.ops, trace.lbns, trace.counts, trace.issue_ms)
+    assert [c - i for c, i in zip(result.completions, result.issue_times)] == [
+        d.response_time for d in sequential
+    ]
+    assert scalar.stats == batched.stats
+
+
+def test_batch_exact_on_defective_geometry(small_specs):
+    """Defective geometry disables the fast path; results must still be
+    identical through the fallback."""
+    geometry = DiskGeometry.with_random_defects(small_specs, defect_count=10, seed=3)
+    scalar = DiskDrive(small_specs, geometry=geometry)
+    batched = DiskDrive(small_specs, geometry=geometry)
+    trace = make_random_trace(geometry, 300, seed=5, write_fraction=0.3, max_sectors=32)
+    sequential = [
+        scalar.submit(DiskRequest(op, lbn, count), t)
+        for t, lbn, count, op in zip(trace.issue_ms, trace.lbns, trace.counts, trace.ops)
+    ]
+    result = batched.submit_batch(trace.ops, trace.lbns, trace.counts, trace.issue_ms)
+    assert result.completions == [d.completion for d in sequential]
+    assert scalar.stats == batched.stats
+
+
+def test_batch_sequential_stream_hits_cache(medium_drive):
+    """A sequential batched stream exercises full hits and streamed reads
+    identically to the scalar path."""
+    n = 400
+    lbns = [i * 16 for i in range(n)]
+    counts = [16] * n
+    times = [i * 0.5 for i in range(n)]
+    result = medium_drive.read_batch(lbns, counts, times)
+    # Sequential streaming must be far faster than random access and should
+    # use the firmware prefetch machinery.
+    assert medium_drive.stats.requests == n
+    assert medium_drive.stats.cache_hits + medium_drive.stats.streamed > 0
+    clone = medium_drive.clone_fresh()
+    sequential = [clone.read(lbn, c, t) for lbn, c, t in zip(lbns, counts, times)]
+    assert result.completions == [d.completion for d in sequential]
+
+
+def test_batch_validation_errors(small_drive):
+    with pytest.raises(RequestError):
+        small_drive.submit_batch(["read"], [0], [1, 2], [0.0])
+    with pytest.raises(RequestError):
+        small_drive.submit_batch(["erase"], [0], [1], [0.0])
+    with pytest.raises(RequestError):
+        small_drive.submit_batch(["read"], [0], [small_drive.geometry.total_lbns + 1], [0.0])
+
+
+# --------------------------------------------------------------------------- #
+# Geometry translation cache
+# --------------------------------------------------------------------------- #
+def test_translate_batch_matches_scalar(clean_geometry, defective_geometry):
+    rng = random.Random(2)
+    for geometry in (clean_geometry, defective_geometry):
+        lbns = [rng.randrange(geometry.total_lbns) for _ in range(500)]
+        tracks, cylinders, surfaces, sectors = geometry.translate_batch(lbns)
+        for i, lbn in enumerate(lbns):
+            addr = geometry.lbn_to_physical(lbn)
+            assert tracks[i] == geometry.track_of_lbn(lbn)
+            assert (cylinders[i], surfaces[i], sectors[i]) == (
+                addr.cylinder,
+                addr.surface,
+                addr.sector,
+            )
+
+
+def test_track_meta_matches_primitives(clean_geometry):
+    for track in range(0, clean_geometry.num_tracks, 7):
+        first, count, cylinder, surface, spt, skew = clean_geometry.track_meta(track)
+        assert (first, count) == clean_geometry.track_bounds(track)
+        assert (cylinder, surface) == clean_geometry.track_to_cyl_surface(track)
+        assert spt == clean_geometry.zone_of_cylinder(cylinder).sectors_per_track
+        assert skew == clean_geometry.skew_offset(track)
+
+
+# --------------------------------------------------------------------------- #
+# Replay engine
+# --------------------------------------------------------------------------- #
+def test_replay_deterministic(medium_specs):
+    """Same trace, fresh fleet => bitwise-identical stats."""
+    trace = make_random_trace(DiskGeometry(medium_specs), 2000, seed=13)
+    runs = []
+    for _ in range(2):
+        fleet = LbnRangeShard([DiskDrive(medium_specs) for _ in range(2)])
+        runs.append(TraceReplayEngine(fleet).replay(trace).to_dict())
+    assert runs[0] == runs[1]
+
+
+def test_single_drive_replay_matches_sequential(medium_specs):
+    """Engine open replay on one drive == naive per-request loop."""
+    geometry = DiskGeometry(medium_specs)
+    trace = make_random_trace(geometry, 800, seed=17, write_fraction=0.25)
+    naive = DiskDrive(medium_specs, geometry=geometry)
+    sequential = [
+        naive.submit(DiskRequest(op, lbn, count), t)
+        for t, lbn, count, op in zip(trace.issue_ms, trace.lbns, trace.counts, trace.ops)
+    ]
+    engine = TraceReplayEngine(DiskDrive(medium_specs, geometry=geometry), batch_size=128)
+    stats = engine.replay(trace)
+    assert stats.issued_requests == len(trace)
+    assert stats.split_requests == 0
+    responses = sorted(d.response_time for d in sequential)
+    assert stats.response["max"] == responses[-1]
+    assert stats.response["mean"] == pytest.approx(sum(responses) / len(responses))
+    assert stats.end_ms == max(d.completion for d in sequential)
+    assert engine.fleet.drives[0].stats == naive.stats
+
+
+def test_sharded_fleet_conserves_request_count(medium_specs):
+    fleet = LbnRangeShard([DiskDrive(medium_specs) for _ in range(4)])
+    geometry = fleet.drives[0].geometry
+    per_drive = geometry.total_lbns
+    # Requests that never straddle an ownership boundary.
+    rng = random.Random(23)
+    trace = Trace()
+    for i in range(2000):
+        shard = rng.randrange(4)
+        lbn = shard * per_drive + rng.randrange(per_drive - 64)
+        trace.append(i * 0.05, lbn, rng.randint(1, 64), "read")
+    stats = TraceReplayEngine(fleet).replay(trace)
+    assert stats.trace_requests == 2000
+    assert stats.issued_requests == 2000
+    assert stats.split_requests == 0
+    assert sum(d.stats.requests for d in fleet.drives) == 2000
+    assert all(d.stats.requests > 0 for d in fleet.drives)
+    assert sum(d.stats.sectors_read for d in fleet.drives) == trace.total_sectors
+
+
+def test_sharded_fleet_splits_boundary_requests(medium_specs):
+    fleet = LbnRangeShard([DiskDrive(medium_specs) for _ in range(2)])
+    per_drive = fleet.drives[0].geometry.total_lbns
+    trace = Trace()
+    trace.append(0.0, per_drive - 8, 16, "read")  # straddles drive 0 / drive 1
+    trace.append(1.0, 0, 8, "read")
+    stats = TraceReplayEngine(fleet).replay(trace)
+    assert stats.trace_requests == 2
+    assert stats.issued_requests == 3
+    assert stats.split_requests == 1
+    # Sector conservation across the split.
+    assert sum(d.stats.sectors_read for d in fleet.drives) == trace.total_sectors
+
+
+def test_shard_routing():
+    fleet = LbnRangeShard.for_model("Quantum Atlas 10K", 2)
+    per_drive = fleet.drives[0].geometry.total_lbns
+    assert fleet.total_lbns == 2 * per_drive
+    assert fleet.shard_of(0) == 0
+    assert fleet.shard_of(per_drive) == 1
+    pieces = fleet.route(per_drive - 4, 8)
+    assert [(p.shard, p.lbn, p.count) for p in pieces] == [
+        (0, per_drive - 4, 4),
+        (1, 0, 4),
+    ]
+    with pytest.raises(RequestError):
+        fleet.route(fleet.total_lbns - 2, 4)
+
+
+def test_closed_replay_onereq_equivalence(medium_specs):
+    """Closed replay on a single drive reproduces run_onereq timing."""
+    from repro.disksim import run_onereq
+
+    geometry = DiskGeometry(medium_specs)
+    trace = make_random_trace(geometry, 300, seed=29, write_fraction=0.0)
+    requests = [DiskRequest("read", lbn, c) for lbn, c in zip(trace.lbns, trace.counts)]
+    reference = run_onereq(DiskDrive(medium_specs, geometry=geometry), requests)
+    engine = TraceReplayEngine(DiskDrive(medium_specs, geometry=geometry))
+    stats = engine.replay_closed(trace)
+    assert stats.mode == "closed"
+    assert stats.peak_outstanding == 1
+    assert stats.end_ms == reference.completed[-1].completion
+    assert stats.response["max"] == max(c.response_time for c in reference.completed)
+
+
+def test_replay_stats_shape(medium_specs):
+    trace = make_random_trace(DiskGeometry(medium_specs), 500, seed=31)
+    stats = TraceReplayEngine(DiskDrive(medium_specs)).replay(trace)
+    payload = stats.to_dict()
+    assert payload["requests_per_second"] > 0
+    assert 0.0 < payload["efficiency"] <= 1.0
+    assert set(payload["response"]) == {"mean", "min", "max", "p50", "p90", "p95", "p99"}
+    assert payload["breakdown"]["media_transfer_ms"] > 0
+    assert len(payload["per_drive"]) == 1
+    assert payload["per_drive"][0]["requests"] == 500
+    # Percentiles are consistent with the single-percentile helper.
+    assert payload["response"]["p50"] <= payload["response"]["p99"] <= payload["response"]["max"]
+
+
+def test_empty_trace_rejected(small_drive):
+    with pytest.raises(RequestError):
+        TraceReplayEngine(small_drive).replay(Trace())
+
+
+# --------------------------------------------------------------------------- #
+# Workload adapters
+# --------------------------------------------------------------------------- #
+def test_synthetic_to_trace_modes(medium_drive):
+    spec = RandomWorkloadSpec(n_requests=100, queue_depth=1)
+    closed = synthetic_to_trace(medium_drive, spec)
+    assert len(closed) == 100
+    assert closed.is_time_ordered()
+    assert closed.issue_ms[1] > 0.0  # issue times follow completions
+    open_trace = synthetic_to_trace(medium_drive, spec, interarrival_ms=2.0)
+    assert open_trace.issue_ms[:3] == [0.0, 2.0, 4.0]
+
+
+def test_ffs_workload_traces_replay(medium_specs):
+    drive = DiskDrive(medium_specs)
+    trace = Postmark.to_trace(drive, PostmarkConfig(initial_files=50, transactions=100))
+    assert len(trace) > 0
+    assert trace.is_time_ordered()
+    stats = TraceReplayEngine(DiskDrive(medium_specs)).replay(trace)
+    assert stats.issued_requests == len(trace)
+
+    scan = filebench_to_trace(DiskDrive(medium_specs), "scan", file_mb=32)
+    assert len(scan) > 0
+    assert scan.read_fraction > 0.3
+    with pytest.raises(ValueError):
+        filebench_to_trace(DiskDrive(medium_specs), "fsck")
+
+
+# --------------------------------------------------------------------------- #
+# Stats helpers
+# --------------------------------------------------------------------------- #
+def test_percentiles_helper_matches_single():
+    values = [float(v) for v in [9, 1, 7, 3, 5, 8, 2, 6, 4, 10]]
+    fractions = (0.1, 0.5, 0.9, 1.0)
+    assert percentiles(values, fractions) == [percentile(values, f) for f in fractions]
+    with pytest.raises(ValueError):
+        percentiles([], (0.5,))
+    with pytest.raises(ValueError):
+        percentiles(values, (0.0,))
+
+
+def test_summarize_shape():
+    summary = summarize([4.0, 2.0, 8.0, 6.0])
+    assert summary["min"] == 2.0
+    assert summary["max"] == 8.0
+    assert summary["mean"] == 5.0
+    assert summary["p50"] == 4.0
