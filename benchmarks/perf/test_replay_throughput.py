@@ -23,13 +23,16 @@ import platform
 import random
 import time
 
+from repro import DriveConfig, FleetConfig, build_drive, build_fleet
+from repro.api import stripe_trace
 from repro.disksim import DiskDrive, DiskRequest
-from repro.sim import LbnRangeShard, Trace, TraceReplayEngine
+from repro.sim import Trace, TraceReplayEngine
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 BENCH_PATH = REPO_ROOT / "BENCH_replay.json"
 
 MODEL = "Quantum Atlas 10K II"
+DRIVE_CONFIG = DriveConfig(model=MODEL)
 TRACE_REQUESTS = 50_000
 NAIVE_REQUESTS = 10_000
 N_DRIVES = 4
@@ -63,18 +66,8 @@ def build_aligned_trace(drive: DiskDrive, n: int, seed: int = 42) -> Trace:
     return trace
 
 
-def to_fleet_trace(trace: Trace, fleet: LbnRangeShard, seed: int = 43) -> Trace:
-    """Spread a single-drive trace over the fleet's global LBN space."""
-    rng = random.Random(seed)
-    offsets = [fleet.shard_range(i)[0] for i in range(len(fleet))]
-    global_trace = Trace()
-    for t, lbn, count, op in zip(trace.issue_ms, trace.lbns, trace.counts, trace.ops):
-        global_trace.append(t, offsets[rng.randrange(len(offsets))] + lbn, count, op)
-    return global_trace
-
-
 def test_replay_throughput(record):
-    reference = DiskDrive.for_model(MODEL)
+    reference = build_drive(DRIVE_CONFIG)
     trace = build_aligned_trace(reference, TRACE_REQUESTS)
     assert len(trace) >= 50_000
     # Vectorized translation cache doubles as a trace sanity check: the
@@ -83,7 +76,7 @@ def test_replay_throughput(record):
     assert aligned_fraction == 1.0
 
     # --- naive per-request loop (the seed baseline) -------------------- #
-    naive_drive = DiskDrive.for_model(MODEL)
+    naive_drive = build_drive(DRIVE_CONFIG)
     t0 = time.perf_counter()
     for t, lbn, count in zip(
         trace.issue_ms[:NAIVE_REQUESTS],
@@ -95,15 +88,15 @@ def test_replay_throughput(record):
     naive_rps = NAIVE_REQUESTS / naive_s
 
     # --- batched engine, single drive ---------------------------------- #
-    engine = TraceReplayEngine(DiskDrive.for_model(MODEL))
+    engine = TraceReplayEngine(build_drive(DRIVE_CONFIG))
     t0 = time.perf_counter()
     batched_stats = engine.replay(trace)
     batched_s = time.perf_counter() - t0
     batched_rps = len(trace) / batched_s
 
     # --- batched engine, 4-drive LBN-range shard ----------------------- #
-    fleet = LbnRangeShard.for_model(MODEL, N_DRIVES)
-    fleet_trace = to_fleet_trace(trace, fleet)
+    fleet = build_fleet(FleetConfig(n_drives=N_DRIVES), DRIVE_CONFIG)
+    fleet_trace = stripe_trace(trace, fleet)
     fleet_engine = TraceReplayEngine(fleet)
     t0 = time.perf_counter()
     sharded_stats = fleet_engine.replay(fleet_trace)

@@ -1,9 +1,14 @@
 """Figures 1, 6 and 8: disk efficiency, head time and response-time variance
 as a function of I/O size for track-aligned vs. unaligned access on the
-Quantum Atlas 10K II's first zone (264 KB tracks)."""
+Quantum Atlas 10K II's first zone (264 KB tracks).
 
+Runs through the ``repro.api`` scenario facade (an ``efficiency``-kind
+scenario per curve); the numbers are bitwise-identical to calling
+``repro.core.efficiency_curve`` directly."""
+
+from repro import Scenario
 from repro.analysis import format_table
-from repro.core import crossover_size, efficiency_curve, max_streaming_efficiency
+from repro.core import crossover_size, max_streaming_efficiency
 from repro.disksim import get_specs
 
 #: I/O sizes (sectors) swept; 528 sectors = one 264 KB track.
@@ -12,10 +17,16 @@ N_REQUESTS = 250
 
 
 def _sweep(drive, aligned, queue_depth, op="read"):
-    return efficiency_curve(
-        drive, SIZES, aligned=aligned, queue_depth=queue_depth,
-        n_requests=N_REQUESTS, op=op,
+    scenario = (
+        Scenario("fig168")
+        .drive(drive.specs.name)
+        .efficiency(
+            sizes_sectors=SIZES, queue_depth=queue_depth,
+            n_requests=N_REQUESTS, op=op,
+        )
+        .traxtent(aligned)
     )
+    return scenario.run().points
 
 
 def test_fig1_disk_efficiency(benchmark, record, atlas10k2_drive):

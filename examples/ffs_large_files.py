@@ -8,35 +8,38 @@ traxtent-aware FFS.  Sizes are scaled down so the example runs in seconds.
 Run with:  python examples/ffs_large_files.py
 """
 
-from repro.disksim import DiskDrive
+from repro import Comparison, DriveConfig, RunResult, build_drive
 from repro.fs import FFS, VARIANTS
 from repro.workloads import copy_file, diff_two_files
 
 PARTITION_MB = 1024
 FILE_MB = 96
+DRIVE = DriveConfig(model="Quantum Atlas 10K")
 
 
 def fresh_fs(variant: str) -> FFS:
-    drive = DiskDrive.for_model("Quantum Atlas 10K")
-    return FFS(drive, partition_sectors=PARTITION_MB * 2048, variant=variant)
+    return FFS(build_drive(DRIVE), partition_sectors=PARTITION_MB * 2048,
+               variant=variant)
 
 
 def main() -> None:
     print(f"Interleaved read of two {FILE_MB} MB files (diff) and a "
-          f"{FILE_MB} MB copy, Quantum Atlas 10K:\n")
-    baseline_diff = baseline_copy = None
+          f"{FILE_MB} MB copy, {DRIVE.model}:\n")
+    results: dict[str, RunResult] = {}
     for variant in VARIANTS:
         diff = diff_two_files(fresh_fs(variant), file_mb=FILE_MB)
         copy = copy_file(fresh_fs(variant), file_mb=FILE_MB)
-        if variant == "default":
-            baseline_diff, baseline_copy = diff.run_seconds, copy.run_seconds
+        results[variant] = RunResult.from_ffs(
+            diff, scenario=f"diff-{variant}", traxtent=variant == "traxtent"
+        )
         print(f"  {variant:10s}  diff {diff.run_seconds:6.1f} s "
               f"(mean request {diff.mean_request_kb:5.1f} KB)   "
               f"copy {copy.run_seconds:6.1f} s")
-    traxtent_diff = diff_two_files(fresh_fs("traxtent"), file_mb=FILE_MB).run_seconds
-    print(f"\nTraxtent FFS speeds up the interleaved scan by "
-          f"{1 - traxtent_diff / baseline_diff:.0%} "
-          f"(the paper reports 19% for 512 MB files).")
+    comparison = Comparison.of(results["default"], results["traxtent"])
+    print()
+    print(comparison.summary())
+    print("\n(the paper reports a 19% faster interleaved scan "
+          "for 512 MB files)")
 
 
 if __name__ == "__main__":

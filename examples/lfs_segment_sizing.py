@@ -8,9 +8,10 @@ both track-aligned and unaligned segment placement.
 Run with:  python examples/lfs_segment_sizing.py
 """
 
-from repro.disksim import DiskDrive
+from repro import DriveConfig, RunResult, build_drive
 from repro.lfs import (
     AuspexLikeWorkload,
+    OwcPoint,
     transfer_inefficiency_measured,
     write_cost_curve,
 )
@@ -26,23 +27,31 @@ def main() -> None:
     )
     log_sectors = int(live_bytes * 1.3) // 512
     costs = write_cost_curve(0, log_sectors, SEGMENT_SIZES_KB, workload)
-    drive = DiskDrive.for_model("Quantum Atlas 10K II")
+    drive = build_drive(DriveConfig(model="Quantum Atlas 10K II"))
 
     print("segment  write-cost  OWC aligned  OWC unaligned")
-    best = None
+    best: OwcPoint | None = None
     for size_kb in SEGMENT_SIZES_KB:
-        aligned = costs[size_kb] * transfer_inefficiency_measured(
-            drive, size_kb * 2, aligned=True, n_requests=80
+        aligned = OwcPoint(
+            segment_kb=size_kb,
+            write_cost=costs[size_kb],
+            transfer_inefficiency=transfer_inefficiency_measured(
+                drive, size_kb * 2, aligned=True, n_requests=80
+            ),
         )
-        unaligned = costs[size_kb] * transfer_inefficiency_measured(
+        unaligned_owc = costs[size_kb] * transfer_inefficiency_measured(
             drive, size_kb * 2, aligned=False, n_requests=80
         )
-        if best is None or aligned < best[1]:
-            best = (size_kb, aligned)
-        print(f"{size_kb:6d}K  {costs[size_kb]:10.2f}  {aligned:11.2f}  {unaligned:13.2f}")
-    print(f"\nLowest aligned overall write cost at ~{best[0]} KB segments "
-          f"(the Atlas 10K II track is 264 KB); the paper computes 44% lower "
-          f"write cost for track-sized segments.")
+        if best is None or aligned.overall_write_cost < best.overall_write_cost:
+            best = aligned
+        print(f"{size_kb:6d}K  {costs[size_kb]:10.2f}  "
+              f"{aligned.overall_write_cost:11.2f}  {unaligned_owc:13.2f}")
+    print()
+    print(RunResult.from_lfs(best, scenario="best-aligned-segment",
+                             traxtent=True).summary())
+    print(f"\nLowest aligned overall write cost at ~{best.segment_kb:.0f} KB "
+          f"segments (the Atlas 10K II track is 264 KB); the paper computes "
+          f"44% lower write cost for track-sized segments.")
 
 
 if __name__ == "__main__":

@@ -1,38 +1,37 @@
 #!/usr/bin/env python3
-"""Quickstart: measure the benefit of track-aligned access on a simulated
-Quantum Atlas 10K II and extract its track boundaries.
+"""Quickstart: the paper's headline experiment in one declarative Scenario.
+
+Measures the disk-efficiency win of track-aligned access on a simulated
+Quantum Atlas 10K II (tworeq random reads at the track size), then extracts
+the drive's track boundaries the way DIXtrac does.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.core import (
-    DixtracExtractor,
-    TraxtentMap,
-    measure_point,
-)
-from repro.disksim import DiskDrive, ScsiInterface
+from repro import Scenario
 
 
 def main() -> None:
-    # 1. Build a simulated drive from the spec database.
-    drive = DiskDrive.for_model("Quantum Atlas 10K II")
-    specs = drive.specs
-    track_sectors = specs.max_sectors_per_track
-    print(f"Drive: {specs.name}, {specs.rpm} RPM, "
-          f"{track_sectors * 512 // 1024} KB per track in the first zone")
+    # The whole experiment is one declarative scenario: drive model,
+    # workload shape, and the traxtent on/off switch.
+    aligned = (
+        Scenario("aligned")
+        .drive("Quantum Atlas 10K II")
+        .efficiency(n_requests=400)     # tworeq reads, one track per request
+        .traxtent(True)
+    )
+    unaligned = Scenario("unaligned", config=aligned.config).traxtent(False)
 
-    # 2. Compare track-aligned and unaligned random reads of one track.
-    aligned = measure_point(drive, track_sectors, aligned=True, n_requests=400)
-    unaligned = measure_point(drive, track_sectors, aligned=False, n_requests=400)
-    print(f"Track-sized random reads (tworeq):")
-    print(f"  aligned   head time {aligned.head_time_ms:5.2f} ms, "
-          f"efficiency {aligned.efficiency:.2f}")
-    print(f"  unaligned head time {unaligned.head_time_ms:5.2f} ms, "
-          f"efficiency {unaligned.efficiency:.2f}")
-    print(f"  -> efficiency gain {aligned.efficiency / unaligned.efficiency - 1:+.0%} "
-          f"(the paper's headline is ~+50%)")
+    comparison = unaligned.compare(aligned)
+    print(comparison.summary())
+    print("(the paper's headline is ~+50% efficiency at the track size)\n")
 
-    # 3. Extract the track boundaries through SCSI queries (DIXtrac).
+    # Under the hood the same drive can be characterised through SCSI
+    # queries, which is how traxtents are found on real hardware.
+    from repro.core import DixtracExtractor, TraxtentMap
+    from repro.disksim import ScsiInterface
+
+    drive = aligned.build_drive()
     extractor = DixtracExtractor(ScsiInterface(drive.geometry))
     traxtents, description = extractor.extract()
     truth = TraxtentMap.from_geometry(drive.geometry)

@@ -1,12 +1,15 @@
-"""Replay a captured workload trace against a sharded drive fleet.
+"""Replay captured and synthetic workloads against a sharded drive fleet.
 
-Demonstrates the full scale pipeline added with the trace-replay engine:
+Demonstrates the scenario facade driving the full scale pipeline:
 
-1. capture the disk-level footprint of an FFS macro-workload as a Trace,
-2. synthesise a raw-disk trace of whole-track reads (the paper's signature
-   access shape),
-3. replay both against a 4-drive LBN-range-sharded fleet and print the
-   aggregate latency/throughput/efficiency report.
+1. a Postmark transaction phase captured as a disk-level trace and replayed
+   against a 4-drive fleet (unstriped: the trace addresses one drive's LBN
+   space, so one shard stays hot),
+2. whole-track-aligned synthetic reads striped over all 4 drives,
+3. the same synthetic workload in closed (onereq-per-drive) mode.
+
+Every experiment is a declarative ``Scenario``; the printed report reads
+the underlying ``ReplayStats`` off each ``RunResult``.
 
 Run with::
 
@@ -15,16 +18,15 @@ Run with::
 
 from __future__ import annotations
 
-import random
+from repro import Scenario
 
-from repro.disksim import DiskDrive, small_test_specs
-from repro.sim import LbnRangeShard, Trace, TraceReplayEngine
-from repro.workloads import Postmark, PostmarkConfig
-
-MODEL_SPECS = small_test_specs(cylinders_per_zone=400, num_zones=3)
+#: Reduced-capacity Atlas 10K II (identical timing, faster geometry scans).
+DRIVE = {"model": "Quantum Atlas 10K II",
+         "cylinders_per_zone": 400, "num_zones": 3}
 
 
-def show(label: str, stats) -> None:
+def show(label: str, result) -> None:
+    stats = result.replay
     print(f"\n=== {label} ===")
     print(f"  requests      : {stats.issued_requests} "
           f"({stats.split_requests} split across shard boundaries)")
@@ -41,49 +43,36 @@ def show(label: str, stats) -> None:
               f"utilization {drive['utilization']:.2f}")
 
 
-def postmark_trace() -> Trace:
-    """Disk-level trace of a Postmark transaction phase."""
-    drive = DiskDrive(MODEL_SPECS)
-    return Postmark.to_trace(
-        drive, PostmarkConfig(initial_files=200, transactions=600)
-    )
-
-
-def aligned_trace(fleet: LbnRangeShard, n: int = 5000) -> Trace:
-    """Whole-track-aligned reads spread over the fleet's global space."""
-    rng = random.Random(7)
-    geometry = fleet.drives[0].geometry
-    tracks = [
-        (extent.first_lbn, extent.lbn_count) for extent in geometry.track_extents()
-    ]
-    per_drive = geometry.total_lbns
-    trace = Trace()
-    t = 0.0
-    for _ in range(n):
-        first, count = tracks[rng.randrange(len(tracks))]
-        shard = rng.randrange(len(fleet))
-        trace.append(t, shard * per_drive + first, count, "read")
-        t += 2.0  # 2 ms interarrival: moderate offered load
-    return trace
-
-
 def main() -> None:
-    fleet = LbnRangeShard([DiskDrive(MODEL_SPECS) for _ in range(4)])
-    engine = TraceReplayEngine(fleet)
+    postmark = (
+        Scenario("postmark-fleet")
+        .drive(**DRIVE)
+        .fleet(4)
+        .workload("postmark", initial_files=200, transactions=600)
+        .traxtent(False)         # capture on the unmodified FFS variant
+        .options(stripe=False)   # keep the captured single-drive addresses
+    )
+    result = postmark.run()
+    show(f"Postmark transaction phase "
+         f"({result.replay.trace_requests} requests, 1 shard hot)", result)
 
-    trace = postmark_trace()
-    # The Postmark trace addresses a single drive's LBN space; replaying it
-    # against the fleet keeps everything on shard 0 -- compare with the
-    # striped synthetic trace below to see the fan-out win.
-    show(f"Postmark transaction phase ({len(trace)} requests, 1 shard hot)",
-         engine.replay(trace))
+    synthetic = (
+        Scenario("aligned-fleet")
+        .drive(**DRIVE)
+        .fleet(4)
+        .workload("synthetic", n_requests=5000, interarrival_ms=2.0)
+        .traxtent(True)
+        .seed(7)
+    )
+    show("Track-aligned reads striped over 4 drives (5000 requests)",
+         synthetic.run())
 
-    synthetic = aligned_trace(fleet)
-    show(f"Track-aligned reads striped over 4 drives ({len(synthetic)} requests)",
-         engine.replay(synthetic))
-
-    closed = engine.replay_closed(synthetic.slice(0, 1000))
-    show("Same trace, closed-loop (onereq per drive)", closed)
+    closed = (
+        Scenario("aligned-closed", config=synthetic.config)
+        .workload("synthetic", n_requests=1000)
+        .closed()
+    )
+    show("Same workload, closed-loop (onereq per drive)", closed.run())
 
 
 if __name__ == "__main__":

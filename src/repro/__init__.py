@@ -11,9 +11,75 @@ The package is organised as:
 * :mod:`repro.workloads`    -- workload generators used by the evaluation,
 * :mod:`repro.sim`          -- batched trace-replay engine and sharded
   multi-drive fleets (the scale layer),
-* :mod:`repro.analysis`     -- statistics and report formatting helpers.
+* :mod:`repro.analysis`     -- statistics and report formatting helpers,
+* :mod:`repro.api`          -- the unified scenario facade: declarative
+  configs, the workload registry, ``Scenario`` / ``run_scenario`` and the
+  ``python -m repro`` command line.
+
+The facade names are re-exported here, so most experiments need only::
+
+    import repro
+
+    result = (repro.Scenario("aligned")
+              .workload("synthetic", n_requests=2000, interarrival_ms=1.0)
+              .traxtent(True)
+              .run())
 """
 
-__version__ = "1.1.0"
+from .api import (
+    Comparison,
+    ConfigError,
+    DriveConfig,
+    FleetConfig,
+    RunResult,
+    Scenario,
+    ScenarioConfig,
+    UnknownWorkloadError,
+    WorkloadConfig,
+    available_workloads,
+    build_drive,
+    build_fleet,
+    build_specs,
+    build_trace,
+    compare_scenarios,
+    get_workload,
+    register_workload,
+    run_scenario,
+    workload_config,
+)
+from .disksim import DiskDrive, DiskRequest, get_specs, small_test_specs
+from .sim import LbnRangeShard, ReplayStats, Trace, TraceRecordingDrive, TraceReplayEngine
 
-__all__ = ["__version__"]
+__version__ = "1.2.0"
+
+__all__ = [
+    "Comparison",
+    "ConfigError",
+    "DiskDrive",
+    "DiskRequest",
+    "DriveConfig",
+    "FleetConfig",
+    "LbnRangeShard",
+    "ReplayStats",
+    "RunResult",
+    "Scenario",
+    "ScenarioConfig",
+    "Trace",
+    "TraceRecordingDrive",
+    "TraceReplayEngine",
+    "UnknownWorkloadError",
+    "WorkloadConfig",
+    "__version__",
+    "available_workloads",
+    "build_drive",
+    "build_fleet",
+    "build_specs",
+    "build_trace",
+    "compare_scenarios",
+    "get_specs",
+    "get_workload",
+    "register_workload",
+    "run_scenario",
+    "small_test_specs",
+    "workload_config",
+]

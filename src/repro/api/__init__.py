@@ -1,0 +1,73 @@
+"""repro.api -- the unified scenario facade.
+
+Every experiment in the repo is expressible as a declarative
+:class:`ScenarioConfig` (JSON round-trip via ``to_dict``/``from_dict``) and
+runnable three ways: the fluent :class:`Scenario` builder, the
+:func:`run_scenario` function, or ``python -m repro run scenario.json``.
+
+Pieces:
+
+* :mod:`repro.api.config`   -- ``DriveConfig`` / ``FleetConfig`` /
+  ``WorkloadConfig`` / ``ScenarioConfig`` dataclasses,
+* :mod:`repro.api.registry` -- the name-based workload registry (postmark,
+  sshbuild, filebench, synthetic, sequential, raw; extensible with
+  :func:`register_workload`),
+* :mod:`repro.api.factory`  -- ``build_drive`` / ``build_fleet`` replacing
+  ad-hoc ``DiskSpecs -> DiskDrive -> shard`` wiring,
+* :mod:`repro.api.result`   -- :class:`RunResult`, one typed shape for
+  replay, efficiency, FFS, LFS and video-server outcomes, plus
+  :class:`Comparison` (the aligned-vs-unaligned diff),
+* :mod:`repro.api.scenario` -- the builder and runner,
+* :mod:`repro.api.cli`      -- the ``python -m repro`` entry point.
+"""
+
+from .config import (
+    ConfigError,
+    DriveConfig,
+    FleetConfig,
+    ScenarioConfig,
+    WorkloadConfig,
+)
+from .factory import build_drive, build_fleet, build_specs
+from .registry import (
+    RawTraceConfig,
+    SequentialConfig,
+    UnknownWorkloadError,
+    available_workloads,
+    get_workload,
+    register_workload,
+    workload_config,
+)
+from .result import Comparison, RunResult
+from .scenario import (
+    Scenario,
+    build_trace,
+    compare_scenarios,
+    run_scenario,
+    stripe_trace,
+)
+
+__all__ = [
+    "Comparison",
+    "ConfigError",
+    "DriveConfig",
+    "FleetConfig",
+    "RawTraceConfig",
+    "RunResult",
+    "Scenario",
+    "ScenarioConfig",
+    "SequentialConfig",
+    "UnknownWorkloadError",
+    "WorkloadConfig",
+    "available_workloads",
+    "build_drive",
+    "build_fleet",
+    "build_specs",
+    "build_trace",
+    "compare_scenarios",
+    "get_workload",
+    "register_workload",
+    "run_scenario",
+    "stripe_trace",
+    "workload_config",
+]

@@ -1,0 +1,112 @@
+"""Command-line front end: ``python -m repro``.
+
+Subcommands:
+
+* ``run scenario.json``       -- run one declarative scenario and print its
+  headline metrics (``--json out.json`` dumps the full result),
+* ``compare a.json b.json``   -- run two scenarios and print the diff; when
+  they differ only in the ``traxtent`` flag the traxtent win is printed
+  directly (the paper's aligned-vs-unaligned experiment),
+* ``list``                    -- registered workloads and drive models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from ..disksim.errors import DiskSimError
+from ..disksim.specs import available_models
+from .config import ScenarioConfig
+from .registry import available_workloads, get_workload
+from .scenario import compare_scenarios, run_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run declarative traxtent experiments (scenario facade).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser("run", help="run one scenario file")
+    run_cmd.add_argument("scenario", help="path to a scenario JSON file")
+    run_cmd.add_argument(
+        "--json", dest="json_out", metavar="PATH",
+        help="also write the full result as JSON ('-' for stdout)",
+    )
+
+    compare_cmd = sub.add_parser(
+        "compare", help="run two scenario files and diff their metrics"
+    )
+    compare_cmd.add_argument("scenario_a", help="baseline scenario JSON")
+    compare_cmd.add_argument("scenario_b", help="comparison scenario JSON")
+    compare_cmd.add_argument(
+        "--json", dest="json_out", metavar="PATH",
+        help="also write the full comparison as JSON ('-' for stdout)",
+    )
+
+    sub.add_parser("list", help="list registered workloads and drive models")
+    return parser
+
+
+def _emit_json(payload: dict, path: str) -> None:
+    text = json.dumps(payload, indent=2)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ScenarioConfig.load(args.scenario)
+    result = run_scenario(config)
+    print(result.summary())
+    if args.json_out:
+        _emit_json(result.to_dict(), args.json_out)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config_a = ScenarioConfig.load(args.scenario_a)
+    config_b = ScenarioConfig.load(args.scenario_b)
+    comparison = compare_scenarios(config_a, config_b)
+    print(comparison.summary())
+    if args.json_out:
+        _emit_json(comparison.to_dict(), args.json_out)
+    return 0
+
+
+def _cmd_list() -> int:
+    print("workloads:")
+    for name in available_workloads():
+        generator = get_workload(name)
+        doc = (generator.__doc__ or "").strip().splitlines()
+        print(f"  {name:12s} {doc[0] if doc else ''}")
+    print("drive models:")
+    for model in available_models():
+        print(f"  {model}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        return _cmd_list()
+    except (DiskSimError, ValueError, OSError) as exc:
+        # DiskSimError covers ConfigError and the spec/geometry/request
+        # errors a bad scenario can trigger; ValueError covers workload
+        # config validation; OSError covers unreadable scenario files.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+__all__ = ["main"]

@@ -1,0 +1,268 @@
+"""RunResult: one typed shape for every experiment's outcome.
+
+Replay statistics, efficiency-curve points, FFS macro-workload timings,
+LFS write costs and video-server admission results all reduce to the same
+three-part shape:
+
+* ``kind``    -- which experiment family produced it,
+* ``metrics`` -- flat headline numbers (the values ``compare`` diffs),
+* ``details`` -- the full kind-specific payload, JSON-ready,
+
+plus, for replay scenarios, the underlying
+:class:`~repro.sim.engine.ReplayStats` object itself so nothing is lost in
+the adaptation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..core.efficiency import EfficiencyPoint
+from ..sim.engine import ReplayStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of one scenario run (or one adapted measurement)."""
+
+    scenario: str
+    kind: str
+    traxtent: bool | None
+    metrics: dict[str, float]
+    replay: ReplayStats | None = None
+    points: list[EfficiencyPoint] = field(default_factory=list)
+    details: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (what ``python -m repro run --json`` emits)."""
+        out: dict[str, Any] = {
+            "scenario": self.scenario,
+            "kind": self.kind,
+            "traxtent": self.traxtent,
+            "metrics": dict(self.metrics),
+            "details": dict(self.details),
+        }
+        if self.replay is not None:
+            out["replay"] = self.replay.to_dict()
+        if self.points:
+            out["points"] = [point.to_dict() for point in self.points]
+        return out
+
+    def summary(self) -> str:
+        """Human-readable report of the headline metrics."""
+        mode = "traxtent" if self.traxtent else "unaligned"
+        if self.traxtent is None:
+            mode = "n/a"
+        lines = [f"scenario {self.scenario!r} [{self.kind}, {mode}]"]
+        for key in sorted(self.metrics):
+            lines.append(f"  {key:24s} {self.metrics[key]:12.4f}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Adapters
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_replay(
+        cls,
+        stats: ReplayStats,
+        scenario: str = "replay",
+        traxtent: bool | None = None,
+    ) -> "RunResult":
+        """Adapt the replay engine's :class:`ReplayStats`."""
+        metrics = {
+            "requests": float(stats.issued_requests),
+            "makespan_ms": stats.makespan_ms,
+            "requests_per_second": stats.requests_per_second,
+            "mb_per_second": stats.mb_per_second,
+            "efficiency": stats.efficiency,
+            "response_mean_ms": stats.response.get("mean", 0.0),
+            "response_p99_ms": stats.response.get("p99", 0.0),
+            "peak_outstanding": float(stats.peak_outstanding),
+        }
+        return cls(
+            scenario=scenario,
+            kind="replay",
+            traxtent=traxtent,
+            metrics=metrics,
+            replay=stats,
+        )
+
+    @classmethod
+    def from_efficiency(
+        cls,
+        points: Sequence[EfficiencyPoint],
+        scenario: str = "efficiency",
+        traxtent: bool | None = None,
+    ) -> "RunResult":
+        """Adapt a sweep of :class:`EfficiencyPoint` measurements.
+
+        Headline metrics describe the largest-I/O point (for single-point
+        sweeps, the point itself), the shape ``compare`` diffs.
+        """
+        points = list(points)
+        if not points:
+            raise ValueError("an efficiency result needs at least one point")
+        last = points[-1]
+        metrics = {
+            "io_kb": last.io_kb,
+            "efficiency": last.efficiency,
+            "head_time_ms": last.head_time_ms,
+            "response_mean_ms": last.response_time_ms,
+            "response_std_ms": last.response_time_std_ms,
+        }
+        return cls(
+            scenario=scenario,
+            kind="efficiency",
+            traxtent=traxtent,
+            metrics=metrics,
+            points=points,
+        )
+
+    @classmethod
+    def from_ffs(
+        cls,
+        result: Any,
+        scenario: str = "ffs",
+        traxtent: bool | None = None,
+    ) -> "RunResult":
+        """Adapt a macro-workload :class:`repro.workloads.WorkloadResult`."""
+        metrics = {
+            "run_seconds": result.run_seconds,
+            "setup_seconds": result.setup_seconds,
+            "disk_reads": float(result.disk_reads),
+            "disk_writes": float(result.disk_writes),
+            "mean_request_kb": result.mean_request_kb,
+        }
+        return cls(
+            scenario=scenario,
+            kind="ffs",
+            traxtent=traxtent,
+            metrics=metrics,
+            details={"workload": result.name},
+        )
+
+    @classmethod
+    def from_lfs(
+        cls,
+        point: Any,
+        scenario: str = "lfs",
+        traxtent: bool | None = None,
+    ) -> "RunResult":
+        """Adapt an LFS overall-write-cost :class:`repro.lfs.OwcPoint`."""
+        metrics = {
+            "segment_kb": point.segment_kb,
+            "write_cost": point.write_cost,
+            "transfer_inefficiency": point.transfer_inefficiency,
+            "overall_write_cost": point.overall_write_cost,
+        }
+        return cls(
+            scenario=scenario, kind="lfs", traxtent=traxtent, metrics=metrics
+        )
+
+    @classmethod
+    def from_video(
+        cls,
+        admission: Any,
+        scenario: str = "video",
+        traxtent: bool | None = None,
+    ) -> "RunResult":
+        """Adapt a video-server admission result (hard or soft)."""
+        metrics = {"streams_per_disk": float(admission.streams_per_disk)}
+        for name in (
+            "worst_case_io_ms",
+            "round_budget_s",
+            "disk_efficiency",
+            "round_time_s",
+            "percentile",
+            "deadline_s",
+        ):
+            value = getattr(admission, name, None)
+            if value is not None:
+                metrics[name] = float(value)
+        return cls(
+            scenario=scenario, kind="video", traxtent=traxtent, metrics=metrics
+        )
+
+
+@dataclass
+class Comparison:
+    """Side-by-side outcome of two scenario runs (a vs. b).
+
+    ``wins`` maps metric name to the relative change of *b* over *a*
+    (positive = b larger).  :meth:`summary` prints the traxtent win
+    directly when exactly one side has traxtents on.
+    """
+
+    a: RunResult
+    b: RunResult
+    wins: dict[str, float]
+
+    #: Metrics where *smaller* is better, for the verdict line.
+    LOWER_IS_BETTER = (
+        "response_mean_ms",
+        "response_p99_ms",
+        "head_time_ms",
+        "makespan_ms",
+        "overall_write_cost",
+        "run_seconds",
+    )
+
+    @classmethod
+    def of(cls, a: RunResult, b: RunResult) -> "Comparison":
+        wins: dict[str, float] = {}
+        for key, value_a in a.metrics.items():
+            value_b = b.metrics.get(key)
+            if value_b is None or value_a == 0:
+                continue
+            wins[key] = (value_b - value_a) / abs(value_a)
+        return cls(a=a, b=b, wins=wins)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "a": self.a.to_dict(),
+            "b": self.b.to_dict(),
+            "relative_change_b_over_a": dict(self.wins),
+        }
+
+    def summary(self) -> str:
+        lines = [self.a.summary(), "", self.b.summary(), ""]
+        lines.append(f"relative change ({self.b.scenario!r} vs {self.a.scenario!r}):")
+        for key in sorted(self.wins):
+            lines.append(f"  {key:24s} {self.wins[key]:+10.1%}")
+        verdict = self._traxtent_verdict()
+        if verdict:
+            lines.append("")
+            lines.append(verdict)
+        return "\n".join(lines)
+
+    def _traxtent_verdict(self) -> str | None:
+        """One-line traxtent win when the two runs differ only in alignment."""
+        if self.a.traxtent == self.b.traxtent or None in (
+            self.a.traxtent,
+            self.b.traxtent,
+        ):
+            return None
+        aligned, unaligned = (
+            (self.b, self.a) if self.b.traxtent else (self.a, self.b)
+        )
+        if "efficiency" in aligned.metrics and unaligned.metrics.get("efficiency"):
+            gain = aligned.metrics["efficiency"] / unaligned.metrics["efficiency"] - 1
+            return (
+                f"traxtent win: {gain:+.0%} disk efficiency "
+                f"({aligned.metrics['efficiency']:.3f} aligned vs "
+                f"{unaligned.metrics['efficiency']:.3f} unaligned)"
+            )
+        for key in self.LOWER_IS_BETTER:
+            if key in aligned.metrics and unaligned.metrics.get(key):
+                cut = 1 - aligned.metrics[key] / unaligned.metrics[key]
+                return (
+                    f"traxtent win: {cut:+.0%} lower {key} "
+                    f"({aligned.metrics[key]:.2f} aligned vs "
+                    f"{unaligned.metrics[key]:.2f} unaligned)"
+                )
+        return None
+
+
+__all__ = ["Comparison", "RunResult"]

@@ -1,0 +1,350 @@
+"""The Scenario facade: one entry point for every experiment.
+
+A :class:`Scenario` wraps a :class:`~repro.api.config.ScenarioConfig` and
+adds a fluent builder plus the runner.  The same experiment can be written
+three ways::
+
+    # Fluent
+    result = (Scenario("aligned")
+              .drive("Quantum Atlas 10K II")
+              .fleet(4)
+              .workload("synthetic", n_requests=2000, interarrival_ms=1.0)
+              .traxtent(True)
+              .run())
+
+    # Declarative
+    result = run_scenario(ScenarioConfig.load("scenario.json"))
+
+    # Command line
+    #   python -m repro run scenario.json
+    #   python -m repro compare aligned.json unaligned.json
+
+Replay scenarios are deterministic: a facade-built replay produces
+bitwise-identical :class:`~repro.sim.engine.ReplayStats` to hand-wired
+``DiskDrive`` / ``TraceReplayEngine`` code (the tests assert it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any
+
+from ..core.efficiency import efficiency_curve
+from ..disksim.drive import DiskDrive
+from ..sim.engine import TraceReplayEngine
+from ..sim.shard import LbnRangeShard
+from ..sim.trace import Trace
+from .config import (
+    ConfigError,
+    DriveConfig,
+    FleetConfig,
+    ScenarioConfig,
+    WorkloadConfig,
+)
+from .factory import build_drive, build_fleet
+from .registry import get_workload, workload_config
+from .result import Comparison, RunResult
+
+
+# --------------------------------------------------------------------------- #
+# Runner
+# --------------------------------------------------------------------------- #
+
+def build_trace(config: ScenarioConfig, drive: DiskDrive | None = None) -> Trace:
+    """Materialise the scenario's workload as a request trace.
+
+    The trace is generated against ``drive`` (or a fresh drive built from
+    the scenario's drive config), so fleet drives stay pristine for the
+    replay itself.
+    """
+    generator = get_workload(config.workload.name)
+    wl_config = workload_config(config.workload.name, config.workload.params)
+    if config.seed is not None and any(
+        f.name == "seed" for f in dataclasses.fields(wl_config)
+    ):
+        wl_config = dataclasses.replace(wl_config, seed=config.seed)
+    reference = drive if drive is not None else build_drive(config.drive)
+    return generator.trace(
+        reference,
+        wl_config,
+        traxtent=config.traxtent,
+        interarrival_ms=config.workload.interarrival_ms,
+        start_ms=config.workload.start_ms,
+    )
+
+
+def stripe_trace(trace: Trace, fleet: LbnRangeShard, seed: int = 43) -> Trace:
+    """Spread a single-drive trace uniformly over a fleet's global space.
+
+    Workload generators address one drive's LBN space; this remaps each
+    request onto a randomly chosen shard (same local LBN), which is how the
+    perf benchmark exercises multi-drive fan-out.
+    """
+    rng = random.Random(seed)
+    offsets = [fleet.shard_range(i)[0] for i in range(len(fleet))]
+    striped = Trace()
+    for t, lbn, count, op in zip(trace.issue_ms, trace.lbns, trace.counts, trace.ops):
+        striped.append(t, offsets[rng.randrange(len(offsets))] + lbn, count, op)
+    return striped
+
+
+def _run_replay(config: ScenarioConfig) -> RunResult:
+    fleet = build_fleet(config.fleet, config.drive)
+    trace = build_trace(config)
+    if len(fleet) > 1 and _should_stripe(config, fleet, trace):
+        trace = stripe_trace(
+            trace, fleet, seed=int(config.options.get("stripe_seed", 43))
+        )
+    engine = TraceReplayEngine(fleet, batch_size=config.batch_size)
+    if config.mode == "closed":
+        stats = engine.replay_closed(trace, think_ms=config.think_ms)
+    else:
+        stats = engine.replay(trace)
+    return RunResult.from_replay(
+        stats, scenario=config.name, traxtent=config.traxtent
+    )
+
+
+def _should_stripe(
+    config: ScenarioConfig, fleet: LbnRangeShard, trace: Trace
+) -> bool:
+    """Decide whether a multi-drive replay spreads the trace over shards.
+
+    Generator-built traces address one drive's local LBN space, so by
+    default they are striped over the fleet.  ``raw`` traces may already
+    address the fleet's global space (a captured fleet trace), so they
+    replay verbatim unless striping is requested explicitly.  Asking to
+    stripe a trace that does not fit one drive's local space is an error,
+    not a silent remap.
+    """
+    option = config.options.get("stripe")
+    stripe = (config.workload.name != "raw") if option is None else bool(option)
+    if not stripe:
+        return False
+    local = fleet.drives[0].geometry.total_lbns
+    top = max(
+        (lbn + count for lbn, count in zip(trace.lbns, trace.counts)), default=0
+    )
+    if top > local:
+        if option:  # explicit request that cannot be honoured
+            raise ConfigError(
+                f"cannot stripe: trace addresses LBNs up to {top} but one "
+                f"drive holds only {local}; the trace already spans the "
+                "fleet's global space -- set options stripe=false"
+            )
+        return False  # default: a global-space trace replays verbatim
+    return True
+
+
+def _run_efficiency(config: ScenarioConfig) -> RunResult:
+    drive = build_drive(config.drive)
+    opts = config.options
+    sizes = opts.get("sizes_sectors") or [drive.specs.max_sectors_per_track]
+    points = efficiency_curve(
+        drive,
+        sizes,
+        aligned=config.traxtent,
+        queue_depth=int(opts.get("queue_depth", 2)),
+        n_requests=int(opts.get("n_requests", 500)),
+        seed=config.seed if config.seed is not None else 1,
+        zone_index=int(opts.get("zone_index", 0)),
+        op=str(opts.get("op", "read")),
+    )
+    return RunResult.from_efficiency(
+        points, scenario=config.name, traxtent=config.traxtent
+    )
+
+
+def run_scenario(config: ScenarioConfig) -> RunResult:
+    """Run one declarative scenario and return its :class:`RunResult`."""
+    if config.kind == "efficiency":
+        return _run_efficiency(config)
+    return _run_replay(config)
+
+
+def compare_scenarios(a: ScenarioConfig, b: ScenarioConfig) -> Comparison:
+    """Run two scenarios and diff their headline metrics.
+
+    When the two differ only in the ``traxtent`` flag this is the paper's
+    Figure-level aligned-vs-unaligned experiment, and the comparison's
+    summary prints the traxtent win directly.
+    """
+    return Comparison.of(run_scenario(a), run_scenario(b))
+
+
+# --------------------------------------------------------------------------- #
+# Fluent builder
+# --------------------------------------------------------------------------- #
+
+class Scenario:
+    """Fluent builder over :class:`ScenarioConfig`.
+
+    Every mutator returns ``self``; :attr:`config` snapshots the current
+    state as an immutable config, and :meth:`run` executes it.
+    """
+
+    def __init__(
+        self, name: str | None = None, config: ScenarioConfig | None = None
+    ):
+        if config is None:
+            self._config = ScenarioConfig(
+                name=name if name is not None else "scenario"
+            )
+        elif name is None:
+            self._config = config
+        else:
+            self._config = dataclasses.replace(config, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_config(cls, config: ScenarioConfig) -> "Scenario":
+        return cls(config=config)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Scenario":
+        return cls.from_config(ScenarioConfig.from_dict(data))
+
+    @classmethod
+    def load(cls, path: str) -> "Scenario":
+        return cls.from_config(ScenarioConfig.load(path))
+
+    # ------------------------------------------------------------------ #
+    # Fluent mutators
+    # ------------------------------------------------------------------ #
+    def _replace(self, **changes: Any) -> "Scenario":
+        self._config = dataclasses.replace(self._config, **changes)
+        return self
+
+    def drive(self, model: str | None = None, **knobs: Any) -> "Scenario":
+        """Select the drive model and firmware knobs (see DriveConfig)."""
+        current = self._config.drive.to_dict()
+        if model is not None:
+            current["model"] = model
+        current.update(knobs)
+        return self._replace(drive=DriveConfig.from_dict(current))
+
+    def fleet(self, n_drives: int, striping: str = "lbn-range") -> "Scenario":
+        """Replay against ``n_drives`` identical drives (LBN-range shard)."""
+        return self._replace(
+            fleet=FleetConfig(n_drives=n_drives, striping=striping)
+        )
+
+    def workload(
+        self,
+        name: str,
+        interarrival_ms: float | None = None,
+        start_ms: float = 0.0,
+        **params: Any,
+    ) -> "Scenario":
+        """Select the workload generator; ``params`` override its config."""
+        get_workload(name)  # fail fast on unknown names
+        return self._replace(
+            workload=WorkloadConfig(
+                name=name,
+                params=params,
+                interarrival_ms=interarrival_ms,
+                start_ms=start_ms,
+            )
+        )
+
+    def traxtent(self, enabled: bool = True) -> "Scenario":
+        """Master switch for track-aligned access."""
+        return self._replace(traxtent=enabled)
+
+    def open(self) -> "Scenario":
+        """Open replay: requests issue at their trace timestamps."""
+        return self._replace(mode="open")
+
+    def closed(self, think_ms: float = 0.0) -> "Scenario":
+        """Closed replay: one request outstanding per drive (onereq)."""
+        return self._replace(mode="closed", think_ms=think_ms)
+
+    def seed(self, value: int) -> "Scenario":
+        """Seed override applied to seeded workload configs."""
+        return self._replace(seed=value)
+
+    def batch_size(self, value: int) -> "Scenario":
+        return self._replace(batch_size=value)
+
+    def options(self, **extra: Any) -> "Scenario":
+        """Merge kind-specific options (e.g. ``stripe=False``)."""
+        merged = dict(self._config.options)
+        merged.update(extra)
+        return self._replace(options=merged)
+
+    def efficiency(
+        self,
+        sizes_sectors: list[int] | None = None,
+        queue_depth: int = 2,
+        n_requests: int = 500,
+        op: str = "read",
+        zone_index: int = 0,
+    ) -> "Scenario":
+        """Turn the scenario into an efficiency-curve sweep (Figures 1/6/8)."""
+        self._replace(kind="efficiency")
+        return self.options(
+            sizes_sectors=list(sizes_sectors) if sizes_sectors else None,
+            queue_depth=queue_depth,
+            n_requests=n_requests,
+            op=op,
+            zone_index=zone_index,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Materialisation
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> ScenarioConfig:
+        """Immutable snapshot of the scenario."""
+        return self._config
+
+    def to_dict(self) -> dict[str, Any]:
+        return self._config.to_dict()
+
+    def to_json(self, indent: int = 2) -> str:
+        return self._config.to_json(indent=indent)
+
+    def save(self, path: str) -> None:
+        self._config.save(path)
+
+    def build_drive(self) -> DiskDrive:
+        """One drive wired from the scenario's drive config."""
+        return build_drive(self._config.drive)
+
+    def build_fleet(self) -> LbnRangeShard:
+        """The scenario's full sharded fleet."""
+        return build_fleet(self._config.fleet, self._config.drive)
+
+    def build_trace(self) -> Trace:
+        """The scenario's workload materialised as a trace."""
+        return build_trace(self._config)
+
+    def run(self) -> RunResult:
+        """Execute the scenario."""
+        return run_scenario(self._config)
+
+    def compare(self, other: "Scenario | ScenarioConfig") -> Comparison:
+        """Run this scenario against another and diff the metrics."""
+        other_config = other.config if isinstance(other, Scenario) else other
+        return compare_scenarios(self._config, other_config)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cfg = self._config
+        return (
+            f"Scenario({cfg.name!r}, kind={cfg.kind!r}, "
+            f"workload={cfg.workload.name!r}, drives={cfg.fleet.n_drives}, "
+            f"traxtent={cfg.traxtent})"
+        )
+
+
+__all__ = [
+    "ConfigError",
+    "Scenario",
+    "build_trace",
+    "compare_scenarios",
+    "run_scenario",
+    "stripe_trace",
+]

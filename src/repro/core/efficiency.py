@@ -40,6 +40,17 @@ class EfficiencyPoint:
     response_time_std_ms: float
     efficiency: float
 
+    def to_dict(self) -> dict[str, float]:
+        """JSON-serialisable form (used by the scenario facade's RunResult)."""
+        return {
+            "io_sectors": self.io_sectors,
+            "io_kb": self.io_kb,
+            "head_time_ms": self.head_time_ms,
+            "response_time_ms": self.response_time_ms,
+            "response_time_std_ms": self.response_time_std_ms,
+            "efficiency": self.efficiency,
+        }
+
 
 def max_streaming_efficiency(specs: DiskSpecs, zone_index: int = 0) -> float:
     """Upper bound on efficiency: data moves during a whole revolution but

@@ -89,6 +89,20 @@ class FFSStats:
             return 0.0
         return total * SECTOR_SIZE / 1024.0 / self.io_count
 
+    def to_dict(self) -> dict[str, float]:
+        """JSON-serialisable form (used by the scenario facade's RunResult)."""
+        return {
+            "disk_reads": float(self.disk_reads),
+            "disk_writes": float(self.disk_writes),
+            "sectors_read": float(self.sectors_read),
+            "sectors_written": float(self.sectors_written),
+            "disk_time_ms": self.disk_time_ms,
+            "cpu_time_ms": self.cpu_time_ms,
+            "files_created": float(self.files_created),
+            "files_deleted": float(self.files_deleted),
+            "mean_request_kb": self.mean_request_kb,
+        }
+
 
 class FFS:
     """The file-system engine."""

@@ -41,6 +41,15 @@ class OwcPoint:
     def overall_write_cost(self) -> float:
         return self.write_cost * self.transfer_inefficiency
 
+    def to_dict(self) -> dict[str, float]:
+        """JSON-serialisable form (used by the scenario facade's RunResult)."""
+        return {
+            "segment_kb": self.segment_kb,
+            "write_cost": self.write_cost,
+            "transfer_inefficiency": self.transfer_inefficiency,
+            "overall_write_cost": self.overall_write_cost,
+        }
+
 
 # --------------------------------------------------------------------------- #
 # Workload half: write cost

@@ -151,6 +151,15 @@ class Trace:
             [self.ops[i] for i in order],
         )
 
+    def shift_to(self, start_ms: float) -> "Trace":
+        """Shift every timestamp so the first request issues at ``start_ms``
+        (in place; returns self).  No-op on an empty trace."""
+        if self.issue_ms:
+            shift = start_ms - self.issue_ms[0]
+            if shift:
+                self.issue_ms = [t + shift for t in self.issue_ms]
+        return self
+
     def slice(self, start: int, stop: int | None = None) -> "Trace":
         return Trace(
             self.issue_ms[start:stop],

@@ -33,6 +33,15 @@ class HardAdmission:
     round_budget_s: float
     disk_efficiency: float
 
+    def to_dict(self) -> dict[str, float]:
+        """JSON-serialisable form (used by the scenario facade's RunResult)."""
+        return {
+            "streams_per_disk": float(self.streams_per_disk),
+            "worst_case_io_ms": self.worst_case_io_ms,
+            "round_budget_s": self.round_budget_s,
+            "disk_efficiency": self.disk_efficiency,
+        }
+
 
 def worst_case_io_time_ms(
     specs: DiskSpecs,
@@ -127,6 +136,15 @@ class SoftAdmission:
     round_time_s: float
     percentile: float
     deadline_s: float
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-serialisable form (used by the scenario facade's RunResult)."""
+        return {
+            "streams_per_disk": float(self.streams_per_disk),
+            "round_time_s": self.round_time_s,
+            "percentile": self.percentile,
+            "deadline_s": self.deadline_s,
+        }
 
 
 def round_time_percentile(round_times_ms: list[float], percentile: float) -> float:

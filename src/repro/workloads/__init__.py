@@ -8,6 +8,8 @@ benchmarks via :meth:`Postmark.to_trace` / :meth:`SshBuild.to_trace`.
 """
 
 from .filebench import (
+    Filebench,
+    FilebenchConfig,
     WorkloadResult,
     copy_file,
     diff_two_files,
@@ -17,10 +19,19 @@ from .filebench import (
 from .filebench import to_trace as filebench_to_trace
 from .postmark import Postmark, PostmarkConfig, PostmarkResult
 from .sshbuild import SshBuild, SshBuildConfig, SshBuildResult
-from .synthetic import RandomWorkloadSpec, build_requests, run
+from .synthetic import RandomWorkloadSpec, Synthetic, build_requests, run
 from .synthetic import to_trace as synthetic_to_trace
 
+#: The four uniform workload generators: each has a ``.name``, a
+#: ``default_config()`` classmethod returning its config dataclass, and a
+#: ``trace(drive, config, *, traxtent, interarrival_ms, start_ms)``
+#: classmethod.  The scenario facade's workload registry is built on them.
+GENERATORS = (Filebench, Postmark, SshBuild, Synthetic)
+
 __all__ = [
+    "Filebench",
+    "FilebenchConfig",
+    "GENERATORS",
     "Postmark",
     "PostmarkConfig",
     "PostmarkResult",
@@ -28,6 +39,7 @@ __all__ = [
     "SshBuild",
     "SshBuildConfig",
     "SshBuildResult",
+    "Synthetic",
     "WorkloadResult",
     "build_requests",
     "copy_file",

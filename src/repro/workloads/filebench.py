@@ -34,6 +34,17 @@ class WorkloadResult:
     disk_writes: int
     mean_request_kb: float
 
+    def to_dict(self) -> dict[str, float | str]:
+        """JSON-serialisable form (used by the scenario facade's RunResult)."""
+        return {
+            "name": self.name,
+            "setup_seconds": self.setup_seconds,
+            "run_seconds": self.run_seconds,
+            "disk_reads": float(self.disk_reads),
+            "disk_writes": float(self.disk_writes),
+            "mean_request_kb": self.mean_request_kb,
+        }
+
 
 def _result(fs: FFS, name: str, setup_end_ms: float, start_stats) -> WorkloadResult:
     return WorkloadResult(
@@ -159,3 +170,64 @@ WORKLOADS = {
     "copy": copy_file,
     "head": head_many_files,
 }
+
+
+@dataclass(frozen=True)
+class FilebenchConfig:
+    """Declarative form of one large-file macro-workload run.
+
+    ``workload`` is one of the :data:`WORKLOADS` names; sizes default to an
+    example-scale run (the paper-scale sizes are the workload functions'
+    own defaults).  ``n_files``/``file_kb`` apply only to ``head``.
+    """
+
+    workload: str = "scan"
+    file_mb: int = 64
+    app_chunk_kb: int = 64
+    n_files: int = 200
+    file_kb: int = 200
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; pick one of {sorted(WORKLOADS)}"
+            )
+
+    def kwargs(self) -> dict:
+        """Keyword arguments for the selected workload function."""
+        if self.workload == "head":
+            return {"n_files": self.n_files, "file_kb": self.file_kb}
+        return {"file_mb": self.file_mb, "app_chunk_kb": self.app_chunk_kb}
+
+
+class Filebench:
+    """Uniform generator wrapper around the large-file macro-workloads."""
+
+    #: Registry name shared by every workload generator.
+    name = "filebench"
+
+    @classmethod
+    def default_config(cls) -> FilebenchConfig:
+        """The generator's config dataclass with its default values (the
+        uniform construction hook used by the workload registry)."""
+        return FilebenchConfig()
+
+    @classmethod
+    def trace(
+        cls,
+        drive,
+        config: FilebenchConfig | None = None,
+        *,
+        traxtent: bool = False,
+        interarrival_ms: float | None = None,
+        start_ms: float = 0.0,
+    ):
+        """Uniform registry entry point: the workload's disk-level trace."""
+        config = config if config is not None else FilebenchConfig()
+        trace = to_trace(
+            drive,
+            workload=config.workload,
+            variant="traxtent" if traxtent else "default",
+            **config.kwargs(),
+        )
+        return trace.shift_to(start_ms) if start_ms else trace

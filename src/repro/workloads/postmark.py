@@ -47,6 +47,9 @@ class PostmarkResult:
 class Postmark:
     """Run the transaction phase of a Postmark-like benchmark on an FFS."""
 
+    #: Registry name shared by every workload generator.
+    name = "postmark"
+
     def __init__(self, fs: FFS, config: PostmarkConfig | None = None) -> None:
         self.fs = fs
         self.config = config or PostmarkConfig()
@@ -76,6 +79,33 @@ class Postmark:
         for _ in range(self.config.initial_files):
             self._create_one()
         self.fs.sync()
+
+    @classmethod
+    def default_config(cls) -> PostmarkConfig:
+        """The generator's config dataclass with its default values (the
+        uniform construction hook used by the workload registry)."""
+        return PostmarkConfig()
+
+    @classmethod
+    def trace(
+        cls,
+        drive,
+        config: PostmarkConfig | None = None,
+        *,
+        traxtent: bool = False,
+        interarrival_ms: float | None = None,
+        start_ms: float = 0.0,
+    ):
+        """Uniform registry entry point: the workload's disk-level trace.
+
+        ``traxtent`` selects the traxtent-aware FFS variant; captured
+        timestamps are kept (``interarrival_ms`` does not apply to
+        file-system workloads) but shifted to start at ``start_ms``.
+        """
+        trace = cls.to_trace(
+            drive, config, variant="traxtent" if traxtent else "default"
+        )
+        return trace.shift_to(start_ms) if start_ms else trace
 
     @classmethod
     def to_trace(

@@ -51,6 +51,9 @@ class SshBuildResult:
 class SshBuild:
     """Three-phase software-build workload."""
 
+    #: Registry name shared by every workload generator.
+    name = "sshbuild"
+
     def __init__(self, fs: FFS, config: SshBuildConfig | None = None) -> None:
         self.fs = fs
         self.config = config or SshBuildConfig()
@@ -59,6 +62,28 @@ class SshBuild:
     def _charge_cpu(self, seconds: float) -> None:
         self.fs.now_ms += seconds * 1000.0
         self.fs.stats.cpu_time_ms += seconds * 1000.0
+
+    @classmethod
+    def default_config(cls) -> SshBuildConfig:
+        """The generator's config dataclass with its default values (the
+        uniform construction hook used by the workload registry)."""
+        return SshBuildConfig()
+
+    @classmethod
+    def trace(
+        cls,
+        drive,
+        config: SshBuildConfig | None = None,
+        *,
+        traxtent: bool = False,
+        interarrival_ms: float | None = None,
+        start_ms: float = 0.0,
+    ):
+        """Uniform registry entry point: the workload's disk-level trace."""
+        trace = cls.to_trace(
+            drive, config, variant="traxtent" if traxtent else "default"
+        )
+        return trace.shift_to(start_ms) if start_ms else trace
 
     @classmethod
     def to_trace(

@@ -96,8 +96,46 @@ def to_trace(
     return recorder.trace
 
 
+class Synthetic:
+    """Uniform generator wrapper around the random raw-disk workloads."""
+
+    #: Registry name shared by every workload generator.
+    name = "synthetic"
+
+    @classmethod
+    def default_config(cls) -> RandomWorkloadSpec:
+        """The generator's config dataclass with its default values (the
+        uniform construction hook used by the workload registry)."""
+        return RandomWorkloadSpec()
+
+    @classmethod
+    def trace(
+        cls,
+        drive: DiskDrive,
+        config: RandomWorkloadSpec | None = None,
+        *,
+        traxtent: bool = False,
+        interarrival_ms: float | None = None,
+        start_ms: float = 0.0,
+    ):
+        """Uniform registry entry point: the workload's request trace.
+
+        ``traxtent`` overrides the spec's ``aligned`` flag (it is the
+        scenario-level master switch for track alignment).
+        """
+        from dataclasses import replace
+
+        config = config if config is not None else RandomWorkloadSpec()
+        if config.aligned != traxtent:
+            config = replace(config, aligned=traxtent)
+        return to_trace(
+            drive, config, interarrival_ms=interarrival_ms, start_ms=start_ms
+        )
+
+
 __all__ = [
     "RandomWorkloadSpec",
+    "Synthetic",
     "build_requests",
     "interleave",
     "random_track_aligned_reads",
