@@ -2,11 +2,12 @@
 as a function of I/O size for track-aligned vs. unaligned access on the
 Quantum Atlas 10K II's first zone (264 KB tracks).
 
-Runs through the ``repro.api`` scenario facade (an ``efficiency``-kind
-scenario per curve); the numbers are bitwise-identical to calling
-``repro.core.efficiency_curve`` directly."""
+Runs through the ``repro.api`` campaign layer: each figure is one declared
+``Campaign`` (axes over ``traxtent`` and ``options.queue_depth``) executed
+with ``run_campaign`` -- no hand-rolled scenario loops.  The numbers are
+bitwise-identical to calling ``repro.core.efficiency_curve`` directly."""
 
-from repro import Scenario
+from repro import Campaign, Scenario, run_campaign
 from repro.analysis import format_table
 from repro.core import crossover_size, max_streaming_efficiency
 from repro.disksim import get_specs
@@ -16,17 +17,29 @@ SIZES = [66, 132, 264, 396, 528, 792, 1056, 1584, 2112, 3168, 4224]
 N_REQUESTS = 250
 
 
-def _sweep(drive, aligned, queue_depth, op="read"):
-    scenario = (
+def _campaign(drive, queue_depths, op="read"):
+    """One declared sweep: traxtent on/off crossed with the queue depths."""
+    base = (
         Scenario("fig168")
         .drive(drive.specs.name)
-        .efficiency(
-            sizes_sectors=SIZES, queue_depth=queue_depth,
-            n_requests=N_REQUESTS, op=op,
-        )
-        .traxtent(aligned)
+        .efficiency(sizes_sectors=SIZES, n_requests=N_REQUESTS, op=op)
     )
-    return scenario.run().points
+    config = (
+        Campaign("fig168")
+        .base(base)
+        .axis("options.queue_depth", list(queue_depths))
+        .axis("traxtent", [True, False])
+        .config
+    )
+    return run_campaign(config)
+
+
+def _points(result, queue_depth, aligned):
+    """The efficiency curve of one (queue depth, alignment) sweep point."""
+    run = result.find(
+        {"options.queue_depth": queue_depth, "traxtent": aligned}
+    )
+    return run.result.points
 
 
 def test_fig1_disk_efficiency(benchmark, record, atlas10k2_drive):
@@ -37,9 +50,8 @@ def test_fig1_disk_efficiency(benchmark, record, atlas10k2_drive):
     to catch up (Point B)."""
 
     def run():
-        aligned = _sweep(atlas10k2_drive, True, queue_depth=2)
-        unaligned = _sweep(atlas10k2_drive, False, queue_depth=2)
-        return aligned, unaligned
+        result = _campaign(atlas10k2_drive, queue_depths=[2])
+        return _points(result, 2, True), _points(result, 2, False)
 
     aligned, unaligned = benchmark.pedantic(run, rounds=1, iterations=1)
     ceiling = max_streaming_efficiency(get_specs("Quantum Atlas 10K II"))
@@ -75,11 +87,12 @@ def test_fig6_head_time(benchmark, record, atlas10k2_drive):
     and ~32 % (tworeq)."""
 
     def run():
-        out = {}
-        for depth, label in ((1, "onereq"), (2, "tworeq")):
-            out[(label, "aligned")] = _sweep(atlas10k2_drive, True, depth)
-            out[(label, "unaligned")] = _sweep(atlas10k2_drive, False, depth)
-        return out
+        result = _campaign(atlas10k2_drive, queue_depths=[1, 2])
+        return {
+            (label, variant): _points(result, depth, variant == "aligned")
+            for depth, label in ((1, "onereq"), (2, "tworeq"))
+            for variant in ("aligned", "unaligned")
+        }
 
     curves = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = []
@@ -124,9 +137,8 @@ def test_fig8_response_time_variance(benchmark, record, atlas10k2_drive):
     ~0.4 ms (seek-only) while unaligned stays near 1.5 ms."""
 
     def run():
-        aligned = _sweep(atlas10k2_drive, True, queue_depth=1)
-        unaligned = _sweep(atlas10k2_drive, False, queue_depth=1)
-        return aligned, unaligned
+        result = _campaign(atlas10k2_drive, queue_depths=[1])
+        return _points(result, 1, True), _points(result, 1, False)
 
     aligned, unaligned = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [

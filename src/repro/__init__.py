@@ -13,8 +13,9 @@ The package is organised as:
   multi-drive fleets (the scale layer),
 * :mod:`repro.analysis`     -- statistics and report formatting helpers,
 * :mod:`repro.api`          -- the unified scenario facade: declarative
-  configs, the workload registry, ``Scenario`` / ``run_scenario`` and the
-  ``python -m repro`` command line.
+  configs, the workload registry, ``Scenario`` / ``run_scenario``,
+  ``Campaign`` / ``run_campaign`` parameter sweeps with a resumable
+  ``ResultStore``, and the ``python -m repro`` command line.
 
 The facade names are re-exported here, so most experiments need only::
 
@@ -27,10 +28,14 @@ The facade names are re-exported here, so most experiments need only::
 """
 
 from .api import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
     Comparison,
     ConfigError,
     DriveConfig,
     FleetConfig,
+    ResultStore,
     RunResult,
     Scenario,
     ScenarioConfig,
@@ -44,15 +49,20 @@ from .api import (
     compare_scenarios,
     get_workload,
     register_workload,
+    run_campaign,
     run_scenario,
+    scenario_hash,
     workload_config,
 )
 from .disksim import DiskDrive, DiskRequest, get_specs, small_test_specs
 from .sim import LbnRangeShard, ReplayStats, Trace, TraceRecordingDrive, TraceReplayEngine
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
     "Comparison",
     "ConfigError",
     "DiskDrive",
@@ -61,6 +71,7 @@ __all__ = [
     "FleetConfig",
     "LbnRangeShard",
     "ReplayStats",
+    "ResultStore",
     "RunResult",
     "Scenario",
     "ScenarioConfig",
@@ -79,7 +90,9 @@ __all__ = [
     "get_specs",
     "get_workload",
     "register_workload",
+    "run_campaign",
     "run_scenario",
+    "scenario_hash",
     "small_test_specs",
     "workload_config",
 ]

@@ -15,12 +15,28 @@ def format_table(
     rows: Sequence[Sequence[object]],
     title: str | None = None,
 ) -> str:
-    """Render an aligned, pipe-separated table."""
+    """Render an aligned, pipe-separated table.
+
+    Short rows are padded with empty cells; a row *longer* than the header
+    raises ``ValueError`` (it would otherwise lose data silently).  Empty
+    ``rows`` still renders the header and rule, so "no data" is visible
+    rather than an empty string.
+    """
+    if not headers:
+        raise ValueError("format_table needs at least one header")
     columns = len(headers)
-    cells = [[str(h) for h in headers]] + [
-        [_format_cell(row[i]) if i < len(row) else "" for i in range(columns)]
-        for row in rows
-    ]
+    body = []
+    for index, row in enumerate(rows):
+        row = list(row)
+        if len(row) > columns:
+            raise ValueError(
+                f"row {index} has {len(row)} cells but only {columns} "
+                f"headers; extra cells would be dropped: {row!r}"
+            )
+        body.append(
+            [_format_cell(row[i]) if i < len(row) else "" for i in range(columns)]
+        )
+    cells = [[str(h) for h in headers]] + body
     widths = [max(len(line[i]) for line in cells) for i in range(columns)]
     lines = []
     if title:

@@ -18,9 +18,27 @@ Pieces:
   replay, efficiency, FFS, LFS and video-server outcomes, plus
   :class:`Comparison` (the aligned-vs-unaligned diff),
 * :mod:`repro.api.scenario` -- the builder and runner,
+* :mod:`repro.api.campaign` -- declarative parameter sweeps:
+  :class:`CampaignConfig` axes over dotted config paths, the
+  :func:`run_campaign` executor (serial or multi-process, bitwise
+  identical), :class:`CampaignResult` long-form export and the fluent
+  :class:`Campaign` builder,
+* :mod:`repro.api.store`    -- :class:`ResultStore`, the on-disk result
+  cache that makes campaigns resumable,
 * :mod:`repro.api.cli`      -- the ``python -m repro`` entry point.
 """
 
+from .campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignPoint,
+    CampaignResult,
+    CampaignRun,
+    ProcessExecutor,
+    SerialExecutor,
+    run_campaign,
+    scenario_hash,
+)
 from .config import (
     ConfigError,
     DriveConfig,
@@ -44,19 +62,29 @@ from .scenario import (
     build_trace,
     compare_scenarios,
     run_scenario,
+    run_scenario_payload,
     stripe_trace,
 )
+from .store import ResultStore
 
 __all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignPoint",
+    "CampaignResult",
+    "CampaignRun",
     "Comparison",
     "ConfigError",
     "DriveConfig",
     "FleetConfig",
+    "ProcessExecutor",
     "RawTraceConfig",
+    "ResultStore",
     "RunResult",
     "Scenario",
     "ScenarioConfig",
     "SequentialConfig",
+    "SerialExecutor",
     "UnknownWorkloadError",
     "WorkloadConfig",
     "available_workloads",
@@ -67,7 +95,10 @@ __all__ = [
     "compare_scenarios",
     "get_workload",
     "register_workload",
+    "run_campaign",
     "run_scenario",
+    "run_scenario_payload",
+    "scenario_hash",
     "stripe_trace",
     "workload_config",
 ]

@@ -7,27 +7,43 @@ Subcommands:
 * ``compare a.json b.json``   -- run two scenarios and print the diff; when
   they differ only in the ``traxtent`` flag the traxtent win is printed
   directly (the paper's aligned-vs-unaligned experiment),
-* ``list``                    -- registered workloads and drive models.
+* ``sweep campaign.json``     -- expand and run a declarative parameter
+  sweep; ``--workers N`` fans scenarios out over a process pool and
+  ``--store DIR`` makes the sweep resumable (completed points are logged
+  as cache hits and never recomputed),
+* ``list``                    -- registered workloads and drive models
+  (``--json`` for the machine-readable registries).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Sequence
 
 from ..disksim.errors import DiskSimError
 from ..disksim.specs import available_models
+from .campaign import CampaignConfig, run_campaign
 from .config import ScenarioConfig
 from .registry import available_workloads, get_workload
 from .scenario import compare_scenarios, run_scenario
+
+
+def _version() -> str:
+    from .. import __version__
+
+    return __version__
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run declarative traxtent experiments (scenario facade).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -48,7 +64,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the full comparison as JSON ('-' for stdout)",
     )
 
-    sub.add_parser("list", help="list registered workloads and drive models")
+    sweep_cmd = sub.add_parser(
+        "sweep", help="run a campaign file (declarative parameter sweep)"
+    )
+    sweep_cmd.add_argument("campaign", help="path to a campaign JSON file")
+    sweep_cmd.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="process-pool width; 1 runs serially (results are identical)",
+    )
+    sweep_cmd.add_argument(
+        "--store", metavar="DIR",
+        help="result-store directory: completed points are reused on re-runs",
+    )
+    sweep_cmd.add_argument(
+        "--json", dest="json_out", metavar="PATH",
+        help="also write the full campaign result as JSON ('-' for stdout)",
+    )
+
+    list_cmd = sub.add_parser(
+        "list", help="list registered workloads and drive models"
+    )
+    list_cmd.add_argument(
+        "--json", dest="as_json", action="store_true",
+        help="emit the registries as machine-readable JSON",
+    )
     return parser
 
 
@@ -80,7 +119,50 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_list() -> int:
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = CampaignConfig.load(args.campaign)
+    result = run_campaign(
+        config,
+        workers=args.workers,
+        store=args.store,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    print(result.table())
+    print()
+    print(result.summary())
+    if args.json_out:
+        _emit_json(result.to_dict(), args.json_out)
+    return 0
+
+
+def _workload_entry(name: str) -> dict:
+    generator = get_workload(name)
+    doc = (generator.__doc__ or "").strip().splitlines()
+    defaults = dataclasses.asdict(generator.default_config())
+    return {
+        "name": name,
+        "description": doc[0] if doc else "",
+        "params": {key: _json_safe(value) for key, value in defaults.items()},
+    }
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, tuple):
+        return [_json_safe(item) for item in value]
+    return value
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.as_json:
+        payload = {
+            "version": _version(),
+            "workloads": [
+                _workload_entry(name) for name in available_workloads()
+            ],
+            "drive_models": list(available_models()),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     print("workloads:")
     for name in available_workloads():
         generator = get_workload(name)
@@ -100,11 +182,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "compare":
             return _cmd_compare(args)
-        return _cmd_list()
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        return _cmd_list(args)
     except (DiskSimError, ValueError, OSError) as exc:
         # DiskSimError covers ConfigError and the spec/geometry/request
-        # errors a bad scenario can trigger; ValueError covers workload
-        # config validation; OSError covers unreadable scenario files.
+        # errors a bad scenario or campaign can trigger; ValueError covers
+        # workload config validation; OSError covers unreadable files.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -46,6 +46,34 @@ def _check_fields(cls: type, data: Mapping[str, Any]) -> None:
         )
 
 
+def set_path(tree: dict, path: str, value: Any) -> None:
+    """Set ``value`` at a dotted ``path`` inside a nested config dict.
+
+    Intermediate components must already exist as mappings (``workload``,
+    ``options``, ...); only the final component may introduce a new key,
+    which is how axes reach into the free-form ``options``/``params``
+    dicts.  Typos in dataclass-backed levels are still caught, because the
+    mutated dict goes back through ``from_dict`` field validation.
+    """
+    parts = path.split(".")
+    if not path or not all(parts):
+        raise ConfigError(f"malformed config path {path!r}")
+    node: Any = tree
+    for depth, part in enumerate(parts[:-1]):
+        if not isinstance(node, dict) or part not in node:
+            known = sorted(node) if isinstance(node, dict) else []
+            raise ConfigError(
+                f"config path {path!r}: {'.'.join(parts[: depth + 1])!r} does "
+                f"not exist; known keys here: {known}"
+            )
+        node = node[part]
+    if not isinstance(node, dict):
+        raise ConfigError(
+            f"config path {path!r} descends into a non-mapping value"
+        )
+    node[parts[-1]] = value
+
+
 @dataclass(frozen=True)
 class DriveConfig:
     """One simulated drive: spec-database model plus firmware knobs.
@@ -205,6 +233,20 @@ class ScenarioConfig:
             **data,
         )
 
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ScenarioConfig":
+        """A copy with dotted-path fields replaced.
+
+        Paths address any field of the config tree (``traxtent``,
+        ``fleet.n_drives``, ``drive.model``, ``workload.params.n_requests``,
+        ``options.queue_depth``, ...).  This is the primitive campaign axes
+        are built on: the override goes through ``to_dict``/``from_dict``,
+        so unknown field names fail loudly.
+        """
+        data = self.to_dict()
+        for path, value in overrides.items():
+            set_path(data, path, value)
+        return ScenarioConfig.from_dict(data)
+
     # ------------------------------------------------------------------ #
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -237,4 +279,5 @@ __all__ = [
     "MODES",
     "ScenarioConfig",
     "WorkloadConfig",
+    "set_path",
 ]

@@ -16,7 +16,7 @@ the adaptation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 from ..core.efficiency import EfficiencyPoint
 from ..sim.engine import ReplayStats
@@ -33,6 +33,10 @@ class RunResult:
     replay: ReplayStats | None = None
     points: list[EfficiencyPoint] = field(default_factory=list)
     details: dict[str, Any] = field(default_factory=dict)
+    #: Raw ``ReplayStats.to_dict()`` payload carried by results rehydrated
+    #: from JSON (parallel campaign workers, the result store), where the
+    #: live ``ReplayStats`` object is no longer available.
+    replay_data: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict[str, Any]:
@@ -46,9 +50,32 @@ class RunResult:
         }
         if self.replay is not None:
             out["replay"] = self.replay.to_dict()
+        elif self.replay_data is not None:
+            out["replay"] = dict(self.replay_data)
         if self.points:
             out["points"] = [point.to_dict() for point in self.points]
         return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rehydrate a result from its ``to_dict`` payload.
+
+        The inverse of :meth:`to_dict` up to JSON fidelity:
+        ``from_dict(r.to_dict()).to_dict() == r.to_dict()``.  Efficiency
+        points come back as real :class:`EfficiencyPoint` objects; replay
+        statistics come back as the raw payload dict (``replay_data``).
+        """
+        return cls(
+            scenario=data["scenario"],
+            kind=data["kind"],
+            traxtent=data.get("traxtent"),
+            metrics=dict(data.get("metrics", {})),
+            points=[EfficiencyPoint(**point) for point in data.get("points", [])],
+            details=dict(data.get("details", {})),
+            replay_data=(
+                dict(data["replay"]) if data.get("replay") is not None else None
+            ),
+        )
 
     def summary(self) -> str:
         """Human-readable report of the headline metrics."""

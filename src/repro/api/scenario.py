@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Any
+from typing import Any, Mapping
 
 from ..core.efficiency import efficiency_curve
 from ..disksim.drive import DiskDrive
@@ -161,6 +161,17 @@ def run_scenario(config: ScenarioConfig) -> RunResult:
     if config.kind == "efficiency":
         return _run_efficiency(config)
     return _run_replay(config)
+
+
+def run_scenario_payload(data: Mapping[str, Any]) -> dict[str, Any]:
+    """Run a scenario given as a plain dict; return the result as a plain dict.
+
+    This is the single execution path shared by every campaign executor:
+    the serial backend calls it in-process, the multiprocessing backend
+    ships the dict to a worker (both sides stay picklable/JSON-clean, so
+    workers > 1 is bitwise-identical to a serial loop).
+    """
+    return run_scenario(ScenarioConfig.from_dict(data)).to_dict()
 
 
 def compare_scenarios(a: ScenarioConfig, b: ScenarioConfig) -> Comparison:
@@ -346,5 +357,6 @@ __all__ = [
     "build_trace",
     "compare_scenarios",
     "run_scenario",
+    "run_scenario_payload",
     "stripe_trace",
 ]

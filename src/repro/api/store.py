@@ -1,0 +1,103 @@
+"""ResultStore: a resumable on-disk cache of scenario results.
+
+Each completed scenario is persisted as one JSON file named by the
+scenario's content hash (:func:`repro.api.campaign.scenario_hash`), so a
+re-run of the same campaign -- or an interrupted campaign picked up again
+-- skips every point that already has a record.  The record is
+self-describing::
+
+    {
+      "schema": 1,
+      "hash": "1f2e3d...",
+      "scenario": { ...ScenarioConfig.to_dict()... },
+      "result":   { ...RunResult.to_dict()... }
+    }
+
+Writes are atomic (temp file + ``os.replace``), so a campaign killed
+mid-write never leaves a truncated record behind; unreadable or
+foreign-schema files are treated as cache misses and recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+from .config import ScenarioConfig
+
+#: Record layout version written by :meth:`ResultStore.put`.
+SCHEMA_VERSION = 1
+
+
+class ResultStore:
+    """Directory of ``<scenario-hash>.json`` result records."""
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    def path(self, scenario_hash: str) -> Path:
+        """Where the record for ``scenario_hash`` lives (it may not exist)."""
+        return self.directory / f"{scenario_hash}.json"
+
+    def get(self, scenario_hash: str) -> dict[str, Any] | None:
+        """The stored record for a scenario hash, or ``None`` on a miss.
+
+        A corrupt, truncated or wrong-schema file is a miss, not an error:
+        the campaign recomputes the point and overwrites the record.
+        """
+        path = self.path(scenario_hash)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("schema") != SCHEMA_VERSION
+            or record.get("hash") != scenario_hash
+            or not isinstance(record.get("result"), dict)
+        ):
+            return None
+        return record
+
+    def put(
+        self,
+        scenario_hash: str,
+        scenario: ScenarioConfig,
+        result: Mapping[str, Any],
+    ) -> Path:
+        """Persist one scenario's result atomically; returns the record path."""
+        record = {
+            "schema": SCHEMA_VERSION,
+            "hash": scenario_hash,
+            "scenario": scenario.to_dict(),
+            "result": dict(result),
+        }
+        path = self.path(scenario_hash)
+        tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------ #
+    def hashes(self) -> list[str]:
+        """Sorted scenario hashes with a record in the store."""
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def __contains__(self, scenario_hash: str) -> bool:
+        return self.get(scenario_hash) is not None
+
+    def __len__(self) -> int:
+        return len(self.hashes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.directory)!r}, {len(self)} records)"
+
+
+__all__ = ["ResultStore", "SCHEMA_VERSION"]

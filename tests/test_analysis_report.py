@@ -1,0 +1,67 @@
+"""Direct unit tests for ``analysis.report`` table/series formatting.
+
+These helpers render every benchmark's output, so ragged input must fail
+loudly (overlong rows) or degrade gracefully (short rows padded, empty
+row sets still showing the header rule).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_series, format_table
+
+
+def test_basic_alignment_and_float_formatting():
+    table = format_table(
+        ["name", "value"],
+        [["a", 1.23456], ["long-name", 2]],
+        title="demo",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "demo"
+    assert lines[1].split(" | ")[0].strip() == "name"
+    assert "1.235" in table  # floats render with 3 decimals
+    assert "2" in table
+    # every row is padded to the same width
+    assert len({len(line) for line in lines[1:]}) == 1
+
+
+def test_empty_rows_still_prints_header_and_rule():
+    table = format_table(["x", "y"], [])
+    lines = table.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("x")
+    assert set(lines[1]) <= {"-", "+"}
+
+
+def test_short_rows_are_padded_with_empty_cells():
+    table = format_table(["a", "b", "c"], [[1], [1, 2, 3]])
+    first_row = table.splitlines()[2]
+    assert first_row.count("|") == 2
+    assert first_row.split(" | ")[1].strip() == ""
+
+
+def test_overlong_row_raises_instead_of_truncating():
+    with pytest.raises(ValueError, match="row 1 has 3 cells"):
+        format_table(["a", "b"], [[1, 2], [1, 2, 3]])
+
+
+def test_empty_headers_rejected():
+    with pytest.raises(ValueError, match="at least one header"):
+        format_table([], [[1]])
+
+
+def test_format_series_round_trip():
+    out = format_series(
+        "curve", [(1, 0.5), (2, 0.75)], x_label="io", y_label="eff"
+    )
+    lines = out.splitlines()
+    assert lines[0] == "curve"
+    assert lines[1].split(" | ")[0].strip() == "io"
+    assert "0.500" in out and "0.750" in out
+
+
+def test_format_series_empty_points():
+    out = format_series("empty", [])
+    assert len(out.splitlines()) == 3  # title + header + rule
