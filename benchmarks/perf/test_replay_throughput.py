@@ -1,23 +1,42 @@
-"""Replay-engine throughput benchmark: batched fan-out vs naive loop.
+"""Replay-engine throughput benchmark: naive vs batched vs columnar kernel.
 
 Replays a >=50k-request synthetic trace (whole-track-aligned reads in the
-first zone, the paper's signature workload shape) three ways:
+first zone, the paper's signature workload shape) five ways:
 
-* **naive**    -- one ``DiskDrive.submit`` call per request (the seed
+* **naive**          -- one ``DiskDrive.submit`` call per request (the seed
   repo's only option, measured on a 10k slice of the same trace),
-* **batched**  -- the ``TraceReplayEngine`` on a single drive,
-* **sharded**  -- the engine on a 4-drive ``LbnRangeShard`` fleet.
+* **batched**        -- the scalar ``TraceReplayEngine`` (``fast=False``)
+  on a single drive,
+* **sharded**        -- the scalar engine on a 4-drive ``LbnRangeShard``,
+* **kernel**         -- the columnar numpy kernel (``fast=True``) on a
+  single drive with the firmware cache disabled (the reference trace
+  re-reads first-zone tracks, so with caching enabled the kernel correctly
+  refuses; disabling the cache makes the trace reuse-free and eligible),
+* **kernel_sharded** -- the kernel on the 4-drive fleet.
 
-Wall-clock requests/second for each mode is written to
-``BENCH_replay.json`` at the repository root (uploaded as a CI artifact)
-so future PRs have a perf trajectory.  The batched engine must beat the
-naive per-request loop by at least 3x, measured in the same run on the
-same machine.
+The kernel is measured twice: ``seconds_cold`` includes the one-time
+per-geometry table construction (cached per process), ``seconds`` is the
+steady-state run campaigns actually see.  Wall-clock requests/second for
+every mode is written to ``BENCH_replay.json`` at the repository root
+(uploaded as a CI artifact) and appended as one line to
+``benchmarks/results/BENCH_history.jsonl`` so the repo accumulates a perf
+trajectory across runs.
+
+Two regression gates run in the same measurement:
+
+* the batched engine must beat the naive loop by >= 3x and the kernel by
+  >= 10x, and
+* the batched and kernel *naive-normalized* speedups must not regress more
+  than 20 % below the committed baseline in ``BENCH_replay.json``
+  (normalizing by the same-run naive rps cancels machine speed, so the
+  gate is meaningful on heterogeneous CI hardware).
 """
 
 from __future__ import annotations
 
+import datetime
 import json
+import os
 import pathlib
 import platform
 import random
@@ -30,14 +49,34 @@ from repro.sim import Trace, TraceReplayEngine
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 BENCH_PATH = REPO_ROOT / "BENCH_replay.json"
+HISTORY_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_history.jsonl"
 
 MODEL = "Quantum Atlas 10K II"
 DRIVE_CONFIG = DriveConfig(model=MODEL)
+#: Kernel measurement drive: identical timing model, firmware cache off so
+#: the reference trace has no cache-sensitive reuse (see module docstring).
+KERNEL_DRIVE_CONFIG = DriveConfig(model=MODEL, enable_caching=False)
 TRACE_REQUESTS = 50_000
 NAIVE_REQUESTS = 10_000
 N_DRIVES = 4
 INTERARRIVAL_MS = 0.05
 MIN_SPEEDUP = 3.0
+MIN_KERNEL_SPEEDUP = 10.0
+#: Committed-baseline regression gate on naive-normalized speedups.
+MAX_REGRESSION = 0.20
+#: Every mode is timed this many times and the fastest run is reported
+#: (standard best-of-N to keep the speedup ratios stable under CI noise).
+REPEATS = 3
+
+
+def _best_of(repeats: int, run) -> float:
+    """Fastest wall-clock seconds of ``repeats`` invocations of ``run``."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 def aligned_tracks(drive: DiskDrive) -> list[tuple[int, int]]:
@@ -66,6 +105,45 @@ def build_aligned_trace(drive: DiskDrive, n: int, seed: int = 42) -> Trace:
     return trace
 
 
+def _append_history(payload: dict) -> None:
+    """One line per benchmark run: the cross-run perf trajectory."""
+    line = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "commit": os.environ.get("GITHUB_SHA", ""),
+        "python": payload["python"],
+        "naive_rps": payload["naive"]["rps"],
+        "batched_rps": payload["batched"]["rps"],
+        "batched_speedup": payload["batched"]["speedup_vs_naive"],
+        "sharded_rps": payload["sharded"]["rps"],
+        "kernel_rps": payload["kernel"]["rps"],
+        "kernel_speedup": payload["kernel"]["speedup_vs_naive"],
+        "kernel_sharded_rps": payload["kernel_sharded"]["rps"],
+    }
+    HISTORY_PATH.parent.mkdir(exist_ok=True)
+    with open(HISTORY_PATH, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line) + "\n")
+
+
+def _check_regressions(baseline: dict | None, payload: dict) -> list[str]:
+    """Compare naive-normalized speedups against the committed baseline."""
+    if not baseline:
+        return []
+    failures = []
+    for mode in ("batched", "kernel"):
+        reference = (baseline.get(mode) or {}).get("speedup_vs_naive")
+        if not reference:
+            continue  # baseline predates this mode
+        current = payload[mode]["speedup_vs_naive"]
+        if current < reference * (1.0 - MAX_REGRESSION):
+            failures.append(
+                f"{mode} speedup regressed >20%: {current:.2f}x vs committed "
+                f"baseline {reference:.2f}x"
+            )
+    return failures
+
+
 def test_replay_throughput(record):
     reference = build_drive(DRIVE_CONFIG)
     trace = build_aligned_trace(reference, TRACE_REQUESTS)
@@ -75,40 +153,75 @@ def test_replay_throughput(record):
     aligned_fraction = trace.aligned_fraction(reference.geometry)
     assert aligned_fraction == 1.0
 
+    try:
+        baseline = json.loads(BENCH_PATH.read_text())
+    except (OSError, json.JSONDecodeError):
+        baseline = None
+
     # --- naive per-request loop (the seed baseline) -------------------- #
     naive_drive = build_drive(DRIVE_CONFIG)
-    t0 = time.perf_counter()
-    for t, lbn, count in zip(
-        trace.issue_ms[:NAIVE_REQUESTS],
-        trace.lbns[:NAIVE_REQUESTS],
-        trace.counts[:NAIVE_REQUESTS],
-    ):
-        naive_drive.submit(DiskRequest.read(lbn, count), t)
-    naive_s = time.perf_counter() - t0
+
+    def run_naive() -> None:
+        naive_drive.reset()
+        for t, lbn, count in zip(
+            trace.issue_ms[:NAIVE_REQUESTS],
+            trace.lbns[:NAIVE_REQUESTS],
+            trace.counts[:NAIVE_REQUESTS],
+        ):
+            naive_drive.submit(DiskRequest.read(lbn, count), t)
+
+    naive_s = _best_of(REPEATS, run_naive)
     naive_rps = NAIVE_REQUESTS / naive_s
 
-    # --- batched engine, single drive ---------------------------------- #
-    engine = TraceReplayEngine(build_drive(DRIVE_CONFIG))
-    t0 = time.perf_counter()
+    # --- scalar batched engine, single drive ---------------------------- #
+    engine = TraceReplayEngine(build_drive(DRIVE_CONFIG), fast=False)
     batched_stats = engine.replay(trace)
-    batched_s = time.perf_counter() - t0
+    batched_s = _best_of(REPEATS, lambda: engine.replay(trace))
     batched_rps = len(trace) / batched_s
 
-    # --- batched engine, 4-drive LBN-range shard ----------------------- #
+    # --- scalar batched engine, 4-drive LBN-range shard ----------------- #
     fleet = build_fleet(FleetConfig(n_drives=N_DRIVES), DRIVE_CONFIG)
     fleet_trace = stripe_trace(trace, fleet)
-    fleet_engine = TraceReplayEngine(fleet)
-    t0 = time.perf_counter()
+    fleet_engine = TraceReplayEngine(fleet, fast=False)
     sharded_stats = fleet_engine.replay(fleet_trace)
-    sharded_s = time.perf_counter() - t0
+    sharded_s = _best_of(REPEATS, lambda: fleet_engine.replay(fleet_trace))
     sharded_rps = len(fleet_trace) / sharded_s
+
+    # --- columnar kernel, single drive (cache-free: reuse-eligible) ----- #
+    kernel_engine = TraceReplayEngine(build_drive(KERNEL_DRIVE_CONFIG), fast=True)
+    t0 = time.perf_counter()
+    kernel_stats = kernel_engine.replay(trace)
+    kernel_cold_s = time.perf_counter() - t0
+    assert kernel_engine.last_replay_path == "kernel", kernel_engine.last_fast_reason
+    kernel_s = _best_of(REPEATS, lambda: kernel_engine.replay(trace))
+    kernel_rps = len(trace) / kernel_s
+
+    # Exactness spot check against the scalar path on the same drive.
+    scalar_check = TraceReplayEngine(
+        build_drive(KERNEL_DRIVE_CONFIG), fast=False
+    ).replay(trace)
+    assert kernel_stats.to_dict() == scalar_check.to_dict()
+
+    # --- columnar kernel, 4-drive fleet ---------------------------------- #
+    kernel_fleet = build_fleet(FleetConfig(n_drives=N_DRIVES), KERNEL_DRIVE_CONFIG)
+    kernel_fleet_engine = TraceReplayEngine(kernel_fleet, fast=True)
+    kernel_sharded_stats = kernel_fleet_engine.replay(fleet_trace)
+    assert kernel_fleet_engine.last_replay_path == "kernel"
+    kernel_sharded_s = _best_of(
+        REPEATS, lambda: kernel_fleet_engine.replay(fleet_trace)
+    )
+    kernel_sharded_rps = len(fleet_trace) / kernel_sharded_s
 
     assert batched_stats.issued_requests == len(trace)
     assert sharded_stats.issued_requests == len(fleet_trace)
+    assert kernel_stats.issued_requests == len(trace)
+    assert kernel_sharded_stats.issued_requests == len(fleet_trace)
     assert sum(d.stats.requests for d in fleet.drives) == len(fleet_trace)
 
     speedup_batched = batched_rps / naive_rps
     speedup_sharded = sharded_rps / naive_rps
+    speedup_kernel = kernel_rps / naive_rps
+    speedup_kernel_sharded = kernel_sharded_rps / naive_rps
 
     payload = {
         "model": MODEL,
@@ -130,9 +243,34 @@ def test_replay_throughput(record):
             "speedup_vs_naive": speedup_sharded,
             "sim": sharded_stats.to_dict(),
         },
+        "kernel": {
+            "requests": len(trace),
+            "seconds": kernel_s,
+            "seconds_cold": kernel_cold_s,
+            "rps": kernel_rps,
+            "speedup_vs_naive": speedup_kernel,
+            "speedup_vs_batched": kernel_rps / batched_rps,
+            "sim": kernel_stats.to_dict(),
+        },
+        "kernel_sharded": {
+            "drives": N_DRIVES,
+            "requests": len(fleet_trace),
+            "seconds": kernel_sharded_s,
+            "rps": kernel_sharded_rps,
+            "speedup_vs_naive": speedup_kernel_sharded,
+            "sim": kernel_sharded_stats.to_dict(),
+        },
         "min_speedup_required": MIN_SPEEDUP,
+        "min_kernel_speedup_required": MIN_KERNEL_SPEEDUP,
+        "max_regression_allowed": MAX_REGRESSION,
     }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    # History records every run; the baseline is only replaced when the
+    # regression gate passes, so a failing run cannot ratchet the committed
+    # BENCH_replay.json down and green-light its own rerun.
+    _append_history(payload)
+    regressions = _check_regressions(baseline, payload)
+    if not regressions:
+        BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     lines = [
         "Replay throughput (wall-clock requests/second)",
@@ -140,8 +278,12 @@ def test_replay_throughput(record):
         f"  naive per-request loop : {naive_rps:>10.0f} rps",
         f"  batched single drive   : {batched_rps:>10.0f} rps  ({speedup_batched:.2f}x)",
         f"  sharded {N_DRIVES}-drive fleet  : {sharded_rps:>10.0f} rps  ({speedup_sharded:.2f}x)",
+        f"  kernel single drive    : {kernel_rps:>10.0f} rps  ({speedup_kernel:.2f}x, "
+        f"cold {len(trace) / kernel_cold_s:.0f} rps)",
+        f"  kernel {N_DRIVES}-drive fleet   : {kernel_sharded_rps:>10.0f} rps  "
+        f"({speedup_kernel_sharded:.2f}x)",
         f"  sim throughput (fleet) : {sharded_stats.requests_per_second:>10.0f} req/s of simulated time",
-        f"  artifact: {BENCH_PATH.name}",
+        f"  artifacts: {BENCH_PATH.name}, {HISTORY_PATH.relative_to(REPO_ROOT)}",
     ]
     record("BENCH_replay", "\n".join(lines))
 
@@ -149,3 +291,8 @@ def test_replay_throughput(record):
         f"batched replay only {speedup_batched:.2f}x faster than the naive "
         f"loop (need >= {MIN_SPEEDUP}x): {batched_rps:.0f} vs {naive_rps:.0f} rps"
     )
+    assert speedup_kernel >= MIN_KERNEL_SPEEDUP, (
+        f"kernel replay only {speedup_kernel:.2f}x faster than the naive "
+        f"loop (need >= {MIN_KERNEL_SPEEDUP}x): {kernel_rps:.0f} vs {naive_rps:.0f} rps"
+    )
+    assert not regressions, "; ".join(regressions)

@@ -46,6 +46,7 @@ from .api import (
     build_fleet,
     build_specs,
     build_trace,
+    clear_drive_build_cache,
     compare_scenarios,
     get_workload,
     register_workload,
@@ -57,7 +58,7 @@ from .api import (
 from .disksim import DiskDrive, DiskRequest, get_specs, small_test_specs
 from .sim import LbnRangeShard, ReplayStats, Trace, TraceRecordingDrive, TraceReplayEngine
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Campaign",
@@ -86,6 +87,7 @@ __all__ = [
     "build_fleet",
     "build_specs",
     "build_trace",
+    "clear_drive_build_cache",
     "compare_scenarios",
     "get_specs",
     "get_workload",

@@ -46,7 +46,12 @@ from .config import (
     ScenarioConfig,
     WorkloadConfig,
 )
-from .factory import build_drive, build_fleet, build_specs
+from .factory import (
+    build_drive,
+    build_fleet,
+    build_specs,
+    clear_drive_build_cache,
+)
 from .registry import (
     RawTraceConfig,
     SequentialConfig,
@@ -92,6 +97,7 @@ __all__ = [
     "build_fleet",
     "build_specs",
     "build_trace",
+    "clear_drive_build_cache",
     "compare_scenarios",
     "get_workload",
     "register_workload",

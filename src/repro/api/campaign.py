@@ -54,7 +54,7 @@ from typing import Any, Callable, Iterator, Mapping, Sequence
 from ..analysis.report import format_table
 from .config import ConfigError, ScenarioConfig
 from .result import RunResult
-from .scenario import Scenario, run_scenario_payload
+from .scenario import FAST_PAYLOAD_KEY, Scenario, run_scenario_payload
 from .store import ResultStore
 
 
@@ -71,9 +71,17 @@ def scenario_hash(config: ScenarioConfig) -> str:
     campaign they came from, or where they sit in an expansion.  That is
     what lets an extended or reordered sweep -- or a different campaign
     sweeping overlapping points -- reuse a store's existing records.
+
+    ``options["fast"]`` (the columnar-kernel switch) is excluded too: it
+    selects an execution path whose results are bitwise identical to the
+    scalar one, so pinning it on or off does not change what the scenario
+    measures and must not invalidate a store's existing records.
     """
     data = config.to_dict()
     data.pop("name", None)
+    options = data.get("options")
+    if isinstance(options, dict):
+        options.pop("fast", None)
     canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
@@ -471,6 +479,7 @@ def run_campaign(
     store: ResultStore | str | None = None,
     executor: SerialExecutor | ProcessExecutor | None = None,
     log: Callable[[str], None] | None = None,
+    fast: bool | None = None,
 ) -> CampaignResult:
     """Expand a campaign and execute every point, reusing stored results.
 
@@ -479,6 +488,11 @@ def run_campaign(
     from disk and logged as cache hits.  ``executor`` overrides the backend
     outright; otherwise ``workers`` picks :class:`SerialExecutor` (1) or
     :class:`ProcessExecutor` (>1).  Results are identical either way.
+
+    ``fast`` is the execution-level columnar-kernel override threaded to
+    every point (and across worker processes).  It does not enter scenario
+    hashes: replay results are bitwise identical with the kernel on or
+    off, so reusing a stored record computed the other way is sound.
     """
     if workers < 1:
         raise ConfigError("workers must be positive")
@@ -499,9 +513,13 @@ def run_campaign(
 
     if executor is None:
         executor = SerialExecutor() if workers <= 1 else ProcessExecutor(workers)
-    payloads = executor.map(
-        run_scenario_payload, [point.config.to_dict() for point in pending]
-    )
+    items = []
+    for point in pending:
+        item = point.config.to_dict()
+        if fast is not None:
+            item[FAST_PAYLOAD_KEY] = fast
+        items.append(item)
+    payloads = executor.map(run_scenario_payload, items)
 
     runs_by_index: dict[int, CampaignRun] = {}
     for point, payload in zip(pending, payloads):
@@ -616,6 +634,7 @@ class Campaign:
         store: ResultStore | str | None = None,
         executor: SerialExecutor | ProcessExecutor | None = None,
         log: Callable[[str], None] | None = None,
+        fast: bool | None = None,
     ) -> CampaignResult:
         """Execute the campaign (see :func:`run_campaign`)."""
         return run_campaign(
@@ -624,6 +643,7 @@ class Campaign:
             store=store,
             executor=executor,
             log=log,
+            fast=fast,
         )
 
     def __len__(self) -> int:

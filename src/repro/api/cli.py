@@ -3,7 +3,9 @@
 Subcommands:
 
 * ``run scenario.json``       -- run one declarative scenario and print its
-  headline metrics (``--json out.json`` dumps the full result),
+  headline metrics (``--json out.json`` dumps the full result,
+  ``--profile`` prints the top-20 cumulative cProfile entries of the run,
+  ``--fast on|off|auto`` pins or disables the columnar replay kernel),
 * ``compare a.json b.json``   -- run two scenarios and print the diff; when
   they differ only in the ``traxtent`` flag the traxtent win is printed
   directly (the paper's aligned-vs-unaligned experiment),
@@ -53,6 +55,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_out", metavar="PATH",
         help="also write the full result as JSON ('-' for stdout)",
     )
+    run_cmd.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the run and print the top-20 cumulative entries "
+        "(hot-path regressions become diagnosable without editing code)",
+    )
+    _add_fast_flag(run_cmd)
 
     compare_cmd = sub.add_parser(
         "compare", help="run two scenario files and diff their metrics"
@@ -80,6 +88,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_out", metavar="PATH",
         help="also write the full campaign result as JSON ('-' for stdout)",
     )
+    _add_fast_flag(sweep_cmd)
 
     list_cmd = sub.add_parser(
         "list", help="list registered workloads and drive models"
@@ -89,6 +98,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the registries as machine-readable JSON",
     )
     return parser
+
+
+def _add_fast_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fast", choices=("auto", "on", "off"), default="auto",
+        help="columnar replay kernel: 'auto' (default) and 'on' use it "
+        "whenever applicable (ineligible replays fall back to the exact "
+        "scalar path), 'off' forces the scalar path; results are bitwise "
+        "identical either way",
+    )
+
+
+def _fast_value(args: argparse.Namespace) -> bool | None:
+    return {"auto": None, "on": True, "off": False}[args.fast]
 
 
 def _emit_json(payload: dict, path: str) -> None:
@@ -102,8 +125,21 @@ def _emit_json(payload: dict, path: str) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = ScenarioConfig.load(args.scenario)
-    result = run_scenario(config)
-    print(result.summary())
+    fast = _fast_value(args)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        result = profiler.runcall(run_scenario, config, fast=fast)
+        print(result.summary())
+        print()
+        pstats.Stats(profiler, stream=sys.stdout).sort_stats(
+            "cumulative"
+        ).print_stats(20)
+    else:
+        result = run_scenario(config, fast=fast)
+        print(result.summary())
     if args.json_out:
         _emit_json(result.to_dict(), args.json_out)
     return 0
@@ -126,6 +162,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         store=args.store,
         log=lambda message: print(message, file=sys.stderr),
+        fast=_fast_value(args),
     )
     print(result.table())
     print()

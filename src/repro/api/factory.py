@@ -5,15 +5,62 @@ that every benchmark and example used to repeat.  A drive built from a
 :class:`~repro.api.config.DriveConfig` with default knobs is constructed
 with *exactly* the same arguments as ``DiskDrive(specs)``, so facade-built
 experiments are bitwise-identical to hand-wired ones.
+
+**Drive-build cache.**  Constructing a full-size :class:`DiskGeometry`
+(zones, spare slots, per-track tables) and fitting the seek curve costs
+tens of milliseconds per drive -- which used to be paid again for every
+drive of every point of a campaign, in every worker process.  Both objects
+are pure functions of the (immutable, hashable) :class:`DiskSpecs`, so the
+factory memoizes them per process: the N points of a campaign share one
+geometry/seek-curve per drive model instead of rebuilding per point.
+Mutable state (:class:`FirmwareCache`, drive head/actuator state) is never
+shared.  ``clear_drive_build_cache()`` drops the memo (tests, benchmarks).
 """
 
 from __future__ import annotations
 
 from ..disksim.cache import FirmwareCache
 from ..disksim.drive import DiskDrive
+from ..disksim.geometry import DiskGeometry
+from ..disksim.seek import SeekCurve
 from ..disksim.specs import DiskSpecs, get_specs, small_test_specs
 from ..sim.shard import LbnRangeShard
 from .config import DriveConfig, FleetConfig
+
+#: specs -> shared immutable geometry / fitted seek curve.  DiskSpecs is a
+#: frozen dataclass, so the key captures the model *and* every
+#: geometry-affecting knob (zone scaling included).
+_GEOMETRY_CACHE: dict[DiskSpecs, DiskGeometry] = {}
+_SEEK_CURVE_CACHE: dict[DiskSpecs, SeekCurve] = {}
+
+#: Safety valve: campaigns sweep a handful of drive variants, not hundreds.
+_CACHE_LIMIT = 64
+
+
+def clear_drive_build_cache() -> None:
+    """Drop the memoized geometries and seek curves."""
+    _GEOMETRY_CACHE.clear()
+    _SEEK_CURVE_CACHE.clear()
+
+
+def _cached_geometry(specs: DiskSpecs) -> DiskGeometry:
+    geometry = _GEOMETRY_CACHE.get(specs)
+    if geometry is None:
+        if len(_GEOMETRY_CACHE) >= _CACHE_LIMIT:
+            _GEOMETRY_CACHE.clear()
+        geometry = DiskGeometry(specs)
+        _GEOMETRY_CACHE[specs] = geometry
+    return geometry
+
+
+def _cached_seek_curve(specs: DiskSpecs) -> SeekCurve:
+    curve = _SEEK_CURVE_CACHE.get(specs)
+    if curve is None:
+        if len(_SEEK_CURVE_CACHE) >= _CACHE_LIMIT:
+            _SEEK_CURVE_CACHE.clear()
+        curve = SeekCurve.for_specs(specs)
+        _SEEK_CURVE_CACHE[specs] = curve
+    return curve
 
 
 def build_specs(config: DriveConfig) -> DiskSpecs:
@@ -61,6 +108,8 @@ def build_drive(config: DriveConfig | None = None) -> DiskDrive:
         )
     return DiskDrive(
         specs,
+        geometry=_cached_geometry(specs),
+        seek_curve=_cached_seek_curve(specs),
         cache=cache,
         zero_latency=config.zero_latency,
         in_order_bus=config.in_order_bus,
@@ -76,4 +125,9 @@ def build_fleet(
     return LbnRangeShard([build_drive(drive) for _ in range(fleet.n_drives)])
 
 
-__all__ = ["build_drive", "build_fleet", "build_specs"]
+__all__ = [
+    "build_drive",
+    "build_fleet",
+    "build_specs",
+    "clear_drive_build_cache",
+]

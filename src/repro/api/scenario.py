@@ -89,14 +89,17 @@ def stripe_trace(trace: Trace, fleet: LbnRangeShard, seed: int = 43) -> Trace:
     return striped
 
 
-def _run_replay(config: ScenarioConfig) -> RunResult:
+def _run_replay(config: ScenarioConfig, fast: bool | None = None) -> RunResult:
     fleet = build_fleet(config.fleet, config.drive)
     trace = build_trace(config)
     if len(fleet) > 1 and _should_stripe(config, fleet, trace):
         trace = stripe_trace(
             trace, fleet, seed=int(config.options.get("stripe_seed", 43))
         )
-    engine = TraceReplayEngine(fleet, batch_size=config.batch_size)
+    if fast is None:
+        option = config.options.get("fast")
+        fast = None if option is None else bool(option)
+    engine = TraceReplayEngine(fleet, batch_size=config.batch_size, fast=fast)
     if config.mode == "closed":
         stats = engine.replay_closed(trace, think_ms=config.think_ms)
     else:
@@ -156,11 +159,24 @@ def _run_efficiency(config: ScenarioConfig) -> RunResult:
     )
 
 
-def run_scenario(config: ScenarioConfig) -> RunResult:
-    """Run one declarative scenario and return its :class:`RunResult`."""
+def run_scenario(config: ScenarioConfig, fast: bool | None = None) -> RunResult:
+    """Run one declarative scenario and return its :class:`RunResult`.
+
+    ``fast`` controls the replay implementation (see
+    :class:`~repro.sim.engine.TraceReplayEngine`): ``None`` defers to the
+    scenario's ``options["fast"]`` (itself defaulting to auto-selection of
+    the columnar kernel), ``True``/``False`` override it for this run.  The
+    flag is an execution knob, not part of the experiment's identity --
+    results are bitwise identical either way.
+    """
     if config.kind == "efficiency":
         return _run_efficiency(config)
-    return _run_replay(config)
+    return _run_replay(config, fast=fast)
+
+
+#: Reserved payload key carrying the execution-level ``fast`` override to
+#: campaign workers (popped before config validation; never hashed).
+FAST_PAYLOAD_KEY = "__fast__"
 
 
 def run_scenario_payload(data: Mapping[str, Any]) -> dict[str, Any]:
@@ -169,9 +185,13 @@ def run_scenario_payload(data: Mapping[str, Any]) -> dict[str, Any]:
     This is the single execution path shared by every campaign executor:
     the serial backend calls it in-process, the multiprocessing backend
     ships the dict to a worker (both sides stay picklable/JSON-clean, so
-    workers > 1 is bitwise-identical to a serial loop).
+    workers > 1 is bitwise-identical to a serial loop).  A reserved
+    ``"__fast__"`` key, when present, carries the execution-level kernel
+    override and is not part of the scenario itself.
     """
-    return run_scenario(ScenarioConfig.from_dict(data)).to_dict()
+    data = dict(data)
+    fast = data.pop(FAST_PAYLOAD_KEY, None)
+    return run_scenario(ScenarioConfig.from_dict(data), fast=fast).to_dict()
 
 
 def compare_scenarios(a: ScenarioConfig, b: ScenarioConfig) -> Comparison:
@@ -286,6 +306,18 @@ class Scenario:
         merged.update(extra)
         return self._replace(options=merged)
 
+    def fast(self, enabled: bool = True) -> "Scenario":
+        """Enable the columnar replay kernel (or force the scalar path
+        with ``False``).
+
+        ``True`` behaves like the default auto-selection: the kernel runs
+        whenever it is applicable and ineligible replays silently fall
+        back to the exact scalar path.  Results are bitwise identical
+        either way, so this knob exists for benchmarking and debugging;
+        it is excluded from ``scenario_hash``.
+        """
+        return self.options(fast=enabled)
+
     def efficiency(
         self,
         sizes_sectors: list[int] | None = None,
@@ -353,6 +385,7 @@ class Scenario:
 
 __all__ = [
     "ConfigError",
+    "FAST_PAYLOAD_KEY",
     "Scenario",
     "build_trace",
     "compare_scenarios",

@@ -17,6 +17,7 @@ Typical use::
 """
 
 from .engine import ReplayStats, TraceReplayEngine
+from .kernel import clear_kernel_tables, replay_kernel
 from .shard import LbnRangeShard, RoutedPiece
 from .trace import Trace, TraceRecord, TraceRecordingDrive
 
@@ -28,4 +29,6 @@ __all__ = [
     "TraceRecord",
     "TraceRecordingDrive",
     "TraceReplayEngine",
+    "clear_kernel_tables",
+    "replay_kernel",
 ]

@@ -112,12 +112,27 @@ class ReplayStats:
 
 
 class TraceReplayEngine:
-    """Replay request traces against a drive or a sharded fleet."""
+    """Replay request traces against a drive or a sharded fleet.
+
+    ``fast`` selects the replay implementation for open replays:
+
+    * ``None`` (default) -- auto: use the columnar numpy kernel
+      (:mod:`repro.sim.kernel`) whenever it is applicable, otherwise the
+      scalar batched path.  Results are bitwise identical either way.
+    * ``True``  -- same as auto (the flag exists so configs can pin it).
+    * ``False`` -- always use the scalar batched path.
+
+    After every :meth:`replay`, :attr:`last_replay_path` reports which
+    implementation ran (``"kernel"`` or ``"scalar"``) and
+    :attr:`last_fast_reason` carries the kernel's refusal reason (or
+    ``None`` when the kernel ran / was disabled).
+    """
 
     def __init__(
         self,
         target: ReplayTarget,
         batch_size: int = 4096,
+        fast: bool | None = None,
     ) -> None:
         if batch_size <= 0:
             raise RequestError("batch_size must be positive")
@@ -128,6 +143,9 @@ class TraceReplayEngine:
         else:
             self.fleet = LbnRangeShard(list(target))
         self.batch_size = batch_size
+        self.fast = fast
+        self.last_replay_path: str | None = None
+        self.last_fast_reason: str | None = None
 
     # ------------------------------------------------------------------ #
     # Open replay
@@ -139,7 +157,23 @@ class TraceReplayEngine:
         shard's stream is serviced in batches.  Identical to submitting
         every request individually with :meth:`DiskDrive.submit` -- the
         batched path is numerically exact -- but several times faster.
+
+        When the columnar kernel is enabled (``fast`` is ``None`` or
+        ``True``) and applicable, the whole trace is serviced with numpy
+        array math instead; the returned statistics are bitwise identical.
         """
+        if self.fast is None or self.fast:
+            from .kernel import replay_kernel
+
+            stats, reason = replay_kernel(self.fleet, trace, reset=reset)
+            if stats is not None:
+                self.last_replay_path = "kernel"
+                self.last_fast_reason = None
+                return stats
+            self.last_fast_reason = reason
+        else:
+            self.last_fast_reason = None
+        self.last_replay_path = "scalar"
         fleet = self.fleet
         if reset:
             fleet.reset()
@@ -216,7 +250,12 @@ class TraceReplayEngine:
         completes (plus ``think_ms``).  An event heap keyed on per-shard
         next-issue times drives the fleet-wide interleaving, so the merged
         completion sequence is produced in global time order.
+
+        Closed replay is always scalar-serviced; the columnar kernel only
+        covers open replay.
         """
+        self.last_replay_path = "scalar"
+        self.last_fast_reason = None
         fleet = self.fleet
         if reset:
             fleet.reset()

@@ -1,0 +1,708 @@
+"""Columnar fast-path replay kernel: whole-trace service with numpy.
+
+The batched engine of PR 1 already amortizes Python call overhead, but its
+hot loop still performs per-request geometry bisects, memo-dict probes,
+firmware-cache probes and thirteen column appends.  This module services a
+whole :class:`~repro.sim.trace.Trace` with the per-request work split into
+two phases:
+
+* **vectorized precompute** -- everything that is a pure function of the
+  request stream and the immutable drive configuration is computed with
+  numpy array math up front: LBN -> (track, cylinder, surface, slot)
+  translation (``searchsorted`` over the per-track tables), seek distances
+  and seek-curve evaluation (a per-curve lookup table), head-switch
+  detection, media-transfer and bus-transfer columns, request validation
+  and shard routing;
+* **serial recurrence** -- only the state that genuinely chains from one
+  request to the next (actuator free time, bus free time, and the
+  rotation-phase-dependent latency) runs in a tight Python loop over the
+  precomputed columns, mirroring the arithmetic of
+  :meth:`repro.disksim.drive.DiskDrive.submit_batch` operation for
+  operation so the produced :class:`~repro.sim.engine.ReplayStats` is
+  bitwise identical to the scalar path.
+
+The kernel refuses (returns a reason, and the engine falls back to the
+exact scalar path) whenever its model could diverge from the scalar one:
+
+* numpy is not importable,
+* any drive's geometry has slipped/remapped defects,
+* any drive uses an out-of-order bus,
+* the replay starts from warm drive/cache state (``reset=False``),
+* any request crosses a shard boundary (fleet splitting), or
+* the trace exhibits *firmware-cache-sensitive reuse*: some read's start
+  LBN falls inside another read's cached-plus-readahead window, so the
+  scalar path could serve cache hits or prefetch streams the kernel does
+  not model.  The check is static and conservative (it ignores request
+  ordering, LRU eviction and write invalidation, all of which only make
+  real hits less likely).
+
+Requests that span multiple tracks are serviced through the drive's exact
+scalar code with state synced both ways (exactly like ``submit_batch``
+does), so unaligned traces still replay through the kernel.
+
+On caching-enabled drives the kernel performs the same
+``record_read``/``record_write`` cache bookkeeping as the scalar path
+(recording cannot change this replay's results -- the reuse gate
+guarantees no probe would hit), so the drive ends a kernel replay in
+exactly the state a scalar replay would leave, and warm-state
+continuations (``reset=False``) stay consistent whichever path serves
+them.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING
+
+from ..disksim.drive import READ, WRITE, DiskRequest
+from ..disksim.geometry import _numpy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..disksim.drive import DiskDrive
+    from ..disksim.geometry import DiskGeometry
+    from ..disksim.seek import SeekCurve
+    from .engine import ReplayStats
+    from .shard import LbnRangeShard
+    from .trace import Trace
+
+# --------------------------------------------------------------------------- #
+# Cached per-configuration tables
+# --------------------------------------------------------------------------- #
+
+#: geometry -> (first_lbn, lbn_count, spt, skew, sector_ms) int64/float64
+#: arrays, one entry per track.  Keyed weakly so cached factory geometries
+#: (shared across campaign points) share one table set without leaking.
+_GEOMETRY_TABLES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+#: seek curve -> {n_cylinders: float64 seek-time table}.
+_SEEK_TABLES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def geometry_tables(geometry: "DiskGeometry"):
+    """Per-track numpy tables for a defect-free geometry (cached).
+
+    Values are produced by the exact same scalar formulas the drive uses
+    (``sector_time_ms``, ``skew_offset``), filled zone by zone, so gathers
+    from these tables are bitwise identical to the scalar lookups.
+    """
+    np = _numpy()
+    tables = _GEOMETRY_TABLES.get(geometry)
+    if tables is not None:
+        return tables
+    n_tracks = geometry.num_tracks
+    surfaces = geometry.surfaces
+    first = np.asarray(geometry._track_first_lbn, dtype=np.int64)
+    count = np.asarray(geometry._track_lbn_count, dtype=np.int64)
+    spt = np.empty(n_tracks, dtype=np.int64)
+    skew = np.empty(n_tracks, dtype=np.int64)
+    sector_ms = np.empty(n_tracks, dtype=np.float64)
+    stream_ms = np.empty(n_tracks, dtype=np.float64)
+    specs = geometry.specs
+    for zone in geometry.zones:
+        lo = zone.first_track
+        hi = (zone.end_cylinder + 1) * surfaces
+        zone_spt = zone.sectors_per_track
+        zone_sector_ms = specs.sector_time_ms(zone_spt)
+        spt[lo:hi] = zone_spt
+        sector_ms[lo:hi] = zone_sector_ms
+        # Sustained streaming rate including skew (what record_read feeds
+        # the prefetch model) -- same formula as DiskDrive._track_fast.
+        stream_ms[lo:hi] = zone_sector_ms * (zone_spt + zone.track_skew) / zone_spt
+        # skew_offset vectorized: k head switches + cylinder crossings
+        # since the start of the zone (same formula as the scalar memo).
+        k = np.arange(hi - lo, dtype=np.int64)
+        crossings = k // surfaces
+        switches = k - crossings
+        skew[lo:hi] = (
+            switches * zone.track_skew + crossings * zone.cylinder_skew
+        ) % zone.sectors_per_track
+    tables = (first, count, spt, skew, sector_ms, stream_ms)
+    _GEOMETRY_TABLES[geometry] = tables
+    return tables
+
+
+def seek_table(curve: "SeekCurve", n_cylinders: int):
+    """``table[d] == curve.seek_time(d)`` for every distance (cached)."""
+    np = _numpy()
+    per_curve = _SEEK_TABLES.get(curve)
+    if per_curve is None:
+        per_curve = {}
+        _SEEK_TABLES[curve] = per_curve
+    table = per_curve.get(n_cylinders)
+    if table is None:
+        seek_time = curve.seek_time
+        table = np.asarray(
+            [seek_time(d) for d in range(n_cylinders)], dtype=np.float64
+        )
+        per_curve[n_cylinders] = table
+    return table
+
+
+def clear_kernel_tables() -> None:
+    """Drop the cached geometry/seek tables (tests and benchmarks)."""
+    _GEOMETRY_TABLES.clear()
+    _SEEK_TABLES.clear()
+
+
+# --------------------------------------------------------------------------- #
+# Eligibility
+# --------------------------------------------------------------------------- #
+
+def _cache_sensitive(np, cache, lbns, counts, is_read) -> bool:
+    """Conservative static reuse check for one shard-local stream.
+
+    True when some read's start LBN lies inside another read's
+    ``[start, end + readahead]`` window -- the union of the cache segment
+    and prefetch ranges a read can populate -- in which case the scalar
+    path *could* serve a hit or stream and the kernel must not run.
+    """
+    if not cache.enable_caching:
+        return False
+    starts = lbns[is_read]
+    if starts.size < 2:
+        return False
+    extra = cache.readahead_sectors if cache.enable_prefetch else 0
+    rights = starts + counts[is_read] + extra
+    order = np.argsort(starts, kind="stable")
+    starts = starts[order]
+    rights = rights[order]
+    covered_until = np.maximum.accumulate(rights[:-1])
+    return bool(np.any(starts[1:] <= covered_until))
+
+
+# --------------------------------------------------------------------------- #
+# Per-shard service: vectorized precompute + serial recurrence
+# --------------------------------------------------------------------------- #
+
+class _ShardOutcome:
+    """Columnar results of one shard's replay (mirrors ``BatchResult``'s
+    role in the scalar aggregate, carrying only what the aggregate needs)."""
+
+    __slots__ = (
+        "n", "issue", "completions", "seek", "settle", "head_switch",
+        "transfer", "bus", "latency_sum", "overlap_sum", "busy_sum",
+    )
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.issue: list[float] = []
+        self.completions: list[float] = []
+        self.seek: list[float] = []
+        self.settle: list[float] = []
+        self.head_switch: list[float] = []
+        self.transfer: list[float] = []
+        self.bus: list[float] = []
+        self.latency_sum = 0.0
+        self.overlap_sum = 0.0
+        self.busy_sum = 0.0
+
+
+def _service_shard(np, drive: "DiskDrive", lbns, counts, issue, is_read) -> _ShardOutcome:
+    """Replay one shard-local stream against a freshly reset ``drive``.
+
+    ``lbns``/``counts``/``issue``/``is_read`` are numpy columns in issue
+    order.  The serial loop below is ``DiskDrive.submit_batch``'s inlined
+    single-track service with every gatherable quantity precomputed; the
+    float arithmetic is kept in the exact same order so results are bitwise
+    identical.
+    """
+    out = _ShardOutcome()
+    n = int(lbns.shape[0])
+    out.n = n
+    if n == 0:
+        return out
+
+    geometry = drive.geometry
+    specs = drive.specs
+    bus = drive.bus
+    (
+        tr_first, tr_count, tr_spt, tr_skew, tr_sector_ms, tr_stream_ms,
+    ) = geometry_tables(geometry)
+    seek_lut = seek_table(drive.seek_curve, geometry.cylinders)
+    surfaces = geometry.surfaces
+
+    # ---- vectorized translation (mirrors translate_batch) -------------- #
+    track = np.searchsorted(tr_first, lbns, side="right") - 1
+    empty = tr_count[track] == 0
+    while empty.any():
+        track = np.where(empty, track - 1, track)
+        empty = tr_count[track] == 0
+    first = tr_first[track]
+    last = lbns + counts - 1
+    etrack = np.searchsorted(tr_first, last, side="right") - 1
+    empty = tr_count[etrack] == 0
+    while empty.any():
+        etrack = np.where(empty, etrack - 1, etrack)
+        empty = tr_count[etrack] == 0
+    multi = lbns + counts > first + tr_count[track]
+
+    cyl = track // surfaces
+    surf = track - cyl * surfaces
+    ecyl = etrack // surfaces
+    esurf = etrack - ecyl * surfaces
+
+    # Head position before each request: the previous request's end track
+    # (requests that fall back to the scalar path also end there).
+    prev_cyl = np.empty_like(ecyl)
+    prev_surf = np.empty_like(esurf)
+    prev_cyl[0] = drive.head_cylinder
+    prev_surf[0] = drive.head_surface
+    prev_cyl[1:] = ecyl[:-1]
+    prev_surf[1:] = esurf[:-1]
+
+    distance = np.abs(cyl - prev_cyl)
+    seek_col = seek_lut[distance]
+    head_switch_cost = specs.head_switch_ms
+    hs_col = np.where((distance == 0) & (surf != prev_surf), head_switch_cost, 0.0)
+
+    cmd_ms = bus.command_overhead_ms
+    bus_sector = bus.sector_ms()
+    write_settle = specs.write_settle_ms
+    rotation = specs.rotation_ms
+    zero_latency = drive.zero_latency
+
+    spt_col = tr_spt[track]
+    skew_col = tr_skew[track]
+    sector_ms_col = tr_sector_ms[track]
+    start_slot_col = lbns - first
+    transfer_col = counts * sector_ms_col
+    total_bus_col = counts * bus_sector
+    issue_cmd_col = issue + cmd_ms
+    settle_col = np.where(is_read, 0.0, write_settle)
+
+    # ---- python-scalar views for the serial loop ----------------------- #
+    issue_l = issue.tolist()
+    issue_cmd_l = issue_cmd_col.tolist()
+    count_l = counts.tolist()
+    lbn_l = lbns.tolist()
+    is_read_l = is_read.tolist()
+    multi_l = multi.tolist()
+    seek_l = seek_col.tolist()
+    hs_l = hs_col.tolist()
+    settle_l = settle_col.tolist()
+    spt_l = spt_col.tolist()
+    skew_l = skew_col.tolist()
+    sector_ms_l = sector_ms_col.tolist()
+    start_slot_l = start_slot_col.tolist()
+    transfer_l = transfer_col.tolist()
+    total_bus_l = total_bus_col.tolist()
+    stream_ms_l = tr_stream_ms[track].tolist()
+    ecyl_l = ecyl.tolist()
+    esurf_l = esurf.tolist()
+
+    # Mirror the scalar path's cache bookkeeping so a later warm-state
+    # continuation (reset=False) sees exactly the cache a scalar replay
+    # would have left behind.  The reuse gate guarantees no probe ever
+    # *hits* during this replay, so recording cannot change its results.
+    cache = drive.cache
+    maintain_cache = cache.enable_caching
+    record_read = cache.record_read
+    record_write = cache.record_write
+
+    completions = [0.0] * n
+    latency_sum = 0.0
+    overlap_sum = 0.0
+    busy_sum = 0.0
+    fallback_busy = 0.0
+    act_free = drive.actuator_free
+    b_free = drive.bus_free
+
+    any_multi = bool(multi.any())
+    service_read = drive._service_read
+    service_write = drive._service_write
+    account = drive._account
+
+    for i in range(n):
+        t_issue = issue_l[i]
+        mech_start = issue_cmd_l[i]
+        if act_free > mech_start:
+            mech_start = act_free
+
+        if any_multi and multi_l[i]:
+            # Multi-track request: exact scalar fallback with state synced
+            # both ways (same contract as submit_batch's fallback).  The
+            # reuse gate guarantees its cache lookup misses.
+            if i:
+                drive.head_cylinder = ecyl_l[i - 1]
+                drive.head_surface = esurf_l[i - 1]
+            drive.actuator_free = act_free
+            drive.bus_free = b_free
+            count = count_l[i]
+            if is_read_l[i]:
+                done = service_read(
+                    DiskRequest(READ, lbn_l[i], count), t_issue, mech_start
+                )
+            else:
+                done = service_write(
+                    DiskRequest(WRITE, lbn_l[i], count), t_issue, mech_start
+                )
+            account(done)
+            act_free = drive.actuator_free
+            b_free = drive.bus_free
+            seek_l[i] = done.seek_ms
+            settle_l[i] = done.settle_ms
+            hs_l[i] = done.head_switch_ms
+            transfer_l[i] = done.media_transfer_ms
+            total_bus_l[i] = done.bus_ms
+            latency_sum += done.rotational_latency_ms
+            overlap_sum += done.bus_overlap_ms
+            busy = done.media_busy_ms
+            busy_sum += busy
+            fallback_busy += busy
+            completions[i] = done.completion
+            continue
+
+        # ---------------- inlined single-track service ------------------ #
+        count = count_l[i]
+        seek_ms = seek_l[i]
+        hs_ms = hs_l[i]
+        spt = spt_l[i]
+        sector_ms = sector_ms_l[i]
+        transfer = transfer_l[i]
+        total_bus = total_bus_l[i]
+
+        if is_read_l[i]:
+            t = mech_start + seek_ms + hs_ms
+        else:
+            start_w = issue_cmd_l[i]
+            if b_free > start_w:
+                start_w = b_free
+            first_ready = start_w + bus_sector
+            bus_done = start_w + total_bus
+            t = mech_start + seek_ms + write_settle + hs_ms
+            if first_ready > t:
+                t = first_ready
+
+        start_slot = start_slot_l[i]
+        head_angle = ((t % rotation) / rotation) * spt
+        head_slot = (head_angle - skew_l[i]) % spt
+        rel = (head_slot - start_slot) % spt
+
+        two_runs = False
+        if rel >= count or not zero_latency:
+            latency = (spt - rel) * sector_ms
+            media_ms = latency + transfer
+            run_cnt0 = count
+            run_b0 = latency
+            run_e0 = latency + transfer
+        else:
+            split = int(rel) + 1
+            if split > count:
+                split = count
+            tail = count - split
+            media_ms = spt * sector_ms
+            latency = media_ms - transfer
+            wrap_begin = media_ms - split * sector_ms
+            if tail > 0:
+                two_runs = True
+                tb = (split - rel) * sector_ms if split > rel else 0.0
+                if tb < 0.0:
+                    tb = 0.0
+                tail_end = tb + tail * sector_ms
+            else:
+                run_cnt0 = split
+                run_b0 = wrap_begin
+                run_e0 = media_ms
+
+        media_end = t + media_ms
+
+        if is_read_l[i]:
+            floor = issue_cmd_l[i]
+            if b_free > floor:
+                floor = b_free
+            if two_runs:
+                a_begin = t + tb
+                a_end = t + tail_end
+                b_begin = t + wrap_begin
+                b_end = t + media_ms
+                bus_media_end = b_end if b_end > a_end else a_end
+                if a_begin < b_begin:
+                    start_b = floor if floor > bus_media_end else bus_media_end
+                    bus_completion = start_b + total_bus
+                    overlap = 0.0
+                else:
+                    bus_completion = floor + total_bus
+                    alt = bus_media_end + bus_sector
+                    if alt > bus_completion:
+                        bus_completion = alt
+                    per_b = (b_end - b_begin) / split
+                    avail_b = b_begin + split * per_b
+                    if avail_b < 0.0:
+                        avail_b = 0.0
+                    cand = avail_b if avail_b > floor else floor
+                    cand = cand + (count - split) * bus_sector
+                    if cand > bus_completion:
+                        bus_completion = cand
+                    per_a = (a_end - a_begin) / tail
+                    avail_a = a_begin + tail * per_a
+                    avail = avail_b if avail_b > avail_a else avail_a
+                    if avail < 0.0:
+                        avail = 0.0
+                    cand = avail if avail > floor else floor
+                    if cand > bus_completion:
+                        bus_completion = cand
+                    overlap = total_bus - (bus_completion - bus_media_end)
+                    if overlap < 0.0:
+                        overlap = 0.0
+                    elif overlap > total_bus:
+                        overlap = total_bus
+            else:
+                b_begin = t + run_b0
+                b_end = t + run_e0
+                bus_media_end = b_end
+                bus_completion = floor + total_bus
+                alt = bus_media_end + bus_sector
+                if alt > bus_completion:
+                    bus_completion = alt
+                per = (b_end - b_begin) / run_cnt0
+                avail = b_begin + run_cnt0 * per
+                if avail < 0.0:
+                    avail = 0.0
+                cand = avail if avail > floor else floor
+                if cand > bus_completion:
+                    bus_completion = cand
+                overlap = total_bus - (bus_completion - bus_media_end)
+                if overlap < 0.0:
+                    overlap = 0.0
+                elif overlap > total_bus:
+                    overlap = total_bus
+
+            completion = bus_completion if bus_completion > media_end else media_end
+            act_free = media_end
+            if completion > b_free:
+                b_free = completion
+            if maintain_cache:
+                record_read(lbn_l[i], count, media_end, stream_ms_l[i])
+        else:
+            completion = media_end
+            mn = bus_done if bus_done < media_end else media_end
+            overlap = mn - (first_ready - bus_sector)
+            if overlap < 0.0:
+                overlap = 0.0
+            if overlap > total_bus:
+                overlap = total_bus
+            b_free = bus_done
+            act_free = media_end
+            if maintain_cache:
+                record_write(lbn_l[i], count)
+
+        busy = media_end - mech_start
+        if busy > 0.0:
+            busy_sum += busy
+        latency_sum += latency
+        overlap_sum += overlap
+        completions[i] = completion
+
+    # ---- commit drive state and aggregate counters --------------------- #
+    drive.actuator_free = act_free
+    drive.bus_free = b_free
+    drive.head_cylinder = ecyl_l[n - 1]
+    drive.head_surface = esurf_l[n - 1]
+
+    inline = ~multi
+    inline_reads = inline & is_read
+    inline_writes = inline & ~is_read
+    stats = drive.stats
+    stats.requests += int(np.count_nonzero(inline))
+    stats.reads += int(np.count_nonzero(inline_reads))
+    stats.writes += int(np.count_nonzero(inline_writes))
+    stats.sectors_read += int(counts[inline_reads].sum())
+    stats.sectors_written += int(counts[inline_writes].sum())
+    # Fallback rows already credited their busy time through _account();
+    # add the inline rows' share.  (The ReplayStats breakdown uses
+    # ``busy_sum``, which is accumulated in request order and therefore
+    # bitwise identical to the scalar path; the drive's own cumulative
+    # counter does not depend on summation order.)
+    stats.busy_ms += busy_sum - fallback_busy
+
+    out.issue = issue_l
+    out.completions = completions
+    out.seek = seek_l
+    out.settle = settle_l
+    out.head_switch = hs_l
+    out.transfer = transfer_l
+    out.bus = total_bus_l
+    out.latency_sum = latency_sum
+    out.overlap_sum = overlap_sum
+    out.busy_sum = busy_sum
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Whole-trace replay
+# --------------------------------------------------------------------------- #
+
+def replay_kernel(
+    fleet: "LbnRangeShard", trace: "Trace", reset: bool = True
+) -> "tuple[ReplayStats | None, str | None]":
+    """Attempt a columnar replay of ``trace`` against ``fleet``.
+
+    Returns ``(stats, None)`` on success or ``(None, reason)`` when the
+    kernel is not applicable; the caller (the engine) falls back to the
+    scalar path.  Eligibility is decided before any fleet state is touched.
+    """
+    np = _numpy()
+    if np is None:
+        return None, "numpy unavailable"
+    if len(trace) == 0:
+        return None, "empty trace"
+    for drive in fleet.drives:
+        if drive.geometry.has_defects:
+            return None, "defective geometry"
+        if not drive.bus.in_order:
+            return None, "out-of-order bus"
+    if not reset:
+        for drive in fleet.drives:
+            if drive.cache.enable_caching and not drive.cache.is_pristine:
+                return None, "warm firmware cache (reset=False)"
+
+    ordered = trace if trace.is_time_ordered() else trace.sorted_by_issue()
+    lbns = np.asarray(ordered.lbns, dtype=np.int64)
+    counts = np.asarray(ordered.counts, dtype=np.int64)
+    issue = np.asarray(ordered.issue_ms, dtype=np.float64)
+    n = int(lbns.shape[0])
+
+    ops = ordered.ops
+    op_codes = np.fromiter(
+        (0 if op == READ else (1 if op == WRITE else 2) for op in ops),
+        dtype=np.int8,
+        count=n,
+    )
+    if (op_codes == 2).any():
+        return None, "unknown opcode"
+    is_read = op_codes == 0
+    if counts.min() <= 0 or lbns.min() < 0:
+        return None, "invalid request"
+    if int((lbns + counts).max()) > fleet.total_lbns:
+        return None, "request exceeds fleet capacity"
+
+    n_shards = len(fleet.drives)
+    if n_shards == 1:
+        shard_cols = [(lbns, counts, issue, is_read)]
+    else:
+        starts = np.asarray(
+            [fleet.shard_range(s)[0] for s in range(n_shards)], dtype=np.int64
+        )
+        ends = np.asarray(
+            [fleet.shard_range(s)[1] for s in range(n_shards)], dtype=np.int64
+        )
+        shard = np.searchsorted(starts, lbns, side="right") - 1
+        if bool((lbns + counts > ends[shard]).any()):
+            return None, "shard-boundary-crossing requests"
+        local = lbns - starts[shard]
+        shard_cols = []
+        for s in range(n_shards):
+            mask = shard == s
+            shard_cols.append(
+                (local[mask], counts[mask], issue[mask], is_read[mask])
+            )
+
+    for (s_lbns, s_counts, s_issue, s_read), drive in zip(shard_cols, fleet.drives):
+        if _cache_sensitive(np, drive.cache, s_lbns, s_counts, s_read):
+            return None, "firmware-cache-sensitive reuse"
+
+    # ---- committed: mirror the scalar replay()'s bookkeeping ----------- #
+    if reset:
+        fleet.reset()
+    before = fleet.combined_stats()
+    split_before = fleet.split_requests
+    fleet.routed_requests += n
+
+    outcomes: list[_ShardOutcome] = []
+    for (s_lbns, s_counts, s_issue, s_read), drive in zip(shard_cols, fleet.drives):
+        outcomes.append(_service_shard(np, drive, s_lbns, s_counts, s_issue, s_read))
+
+    return _aggregate_kernel(np, fleet, trace, outcomes, before, split_before), None
+
+
+def _aggregate_kernel(
+    np, fleet, trace, outcomes, before, split_before
+) -> "ReplayStats":
+    """Mirror of :meth:`TraceReplayEngine._aggregate` over shard outcomes.
+
+    Summation order matches the scalar aggregate exactly (per-shard Python
+    ``sum`` over per-request columns, shards accumulated in order), so every
+    statistic is bitwise identical to the scalar path's.
+    """
+    from ..analysis.stats import summarize
+    from ..disksim.errors import RequestError
+    from .engine import ReplayStats
+
+    issued = sum(out.n for out in outcomes)
+    if issued == 0:
+        raise RequestError("cannot replay an empty trace")
+
+    responses: list[float] = []
+    breakdown = {
+        "seek_ms": 0.0,
+        "settle_ms": 0.0,
+        "rotational_latency_ms": 0.0,
+        "head_switch_ms": 0.0,
+        "media_transfer_ms": 0.0,
+        "bus_ms": 0.0,
+        "bus_overlap_ms": 0.0,
+        "busy_ms": 0.0,
+    }
+    start_ms = float("inf")
+    end_ms = float("-inf")
+    per_drive: list[dict[str, float]] = []
+    issue_arrays = []
+    completion_arrays = []
+    for out in outcomes:
+        if out.n:
+            issue_arr = np.asarray(out.issue, dtype=np.float64)
+            comp_arr = np.asarray(out.completions, dtype=np.float64)
+            responses.extend((comp_arr - issue_arr).tolist())
+            issue_arrays.append(issue_arr)
+            completion_arrays.append(comp_arr)
+            start_ms = min(start_ms, float(issue_arr.min()))
+            end_ms = max(end_ms, float(comp_arr.max()))
+        breakdown["seek_ms"] += sum(out.seek)
+        breakdown["settle_ms"] += sum(out.settle)
+        breakdown["rotational_latency_ms"] += out.latency_sum
+        breakdown["head_switch_ms"] += sum(out.head_switch)
+        breakdown["media_transfer_ms"] += sum(out.transfer)
+        breakdown["bus_ms"] += sum(out.bus)
+        breakdown["bus_overlap_ms"] += out.overlap_sum
+        breakdown["busy_ms"] += out.busy_sum
+        per_drive.append({"requests": float(out.n), "busy_ms": out.busy_sum})
+
+    combined = fleet.combined_stats()
+    span = max(0.0, end_ms - start_ms)
+    for entry in per_drive:
+        entry["utilization"] = entry["busy_ms"] / span if span > 0.0 else 0.0
+
+    # Peak outstanding: identical to the scalar event sweep -- for the k-th
+    # issue (sorted), outstanding = (k+1) - |completions <= issue_k|.
+    all_issues = np.sort(np.concatenate(issue_arrays))
+    all_completions = np.sort(np.concatenate(completion_arrays))
+    done_before = np.searchsorted(all_completions, all_issues, side="right")
+    outstanding = np.arange(1, all_issues.shape[0] + 1) - done_before
+    peak = int(outstanding.max())
+
+    return ReplayStats(
+        trace_requests=len(trace),
+        issued_requests=issued,
+        split_requests=fleet.split_requests - split_before,
+        reads=combined.reads - before.reads,
+        writes=combined.writes - before.writes,
+        cache_hits=combined.cache_hits - before.cache_hits,
+        streamed=combined.streamed - before.streamed,
+        sectors=(combined.sectors_read + combined.sectors_written)
+        - (before.sectors_read + before.sectors_written),
+        start_ms=start_ms,
+        end_ms=end_ms,
+        response=summarize(responses),
+        breakdown=breakdown,
+        per_drive=per_drive,
+        peak_outstanding=peak,
+        mode="open",
+    )
+
+
+__all__ = [
+    "clear_kernel_tables",
+    "geometry_tables",
+    "replay_kernel",
+    "seek_table",
+]

@@ -1,0 +1,92 @@
+"""numpy-free degradation: a worker without numpy must fall back to the
+exact scalar paths after a *single* import attempt and a single warning.
+
+Before PR 4, :func:`repro.disksim.geometry._numpy` re-attempted the import
+on every batch -- a spawn worker in a numpy-less environment paid the
+failed-import cost per ``translate_batch`` call and stayed silent about
+it.  The import result is now cached at module level, so these tests
+monkeypatch numpy away, reset the cache, and assert exactly one attempt,
+exactly one :class:`RuntimeWarning`, and correct scalar results for both
+the translation path and the replay engine's kernel auto-selection.
+"""
+
+from __future__ import annotations
+
+import builtins
+import random
+import warnings
+
+import pytest
+
+from repro.disksim import DiskDrive, DiskGeometry, small_test_specs
+from repro.sim import Trace, TraceReplayEngine
+
+SMALL = dict(cylinders_per_zone=12, num_zones=3)
+
+
+@pytest.fixture()
+def no_numpy(monkeypatch):
+    """Make numpy unimportable and reset the module-level import cache.
+
+    Yields the list of blocked import attempts so tests can assert the
+    import is tried exactly once per process, not once per batch.
+    """
+    from repro.disksim import geometry as geometry_module
+
+    attempts = []
+    real_import = builtins.__import__
+
+    def blocked_import(name, *args, **kwargs):
+        if name == "numpy" or name.startswith("numpy."):
+            attempts.append(name)
+            raise ImportError("numpy disabled for this test")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(
+        geometry_module, "_NUMPY_CACHE", geometry_module._NUMPY_UNRESOLVED
+    )
+    monkeypatch.setattr(builtins, "__import__", blocked_import)
+    yield attempts
+    # Leave the cache unresolved so the next caller re-imports real numpy.
+    geometry_module._NUMPY_CACHE = geometry_module._NUMPY_UNRESOLVED
+
+
+def test_translate_batch_degrades_with_single_warning(no_numpy):
+    geometry = DiskGeometry(small_test_specs(**SMALL))
+    lbns = [0, 5, 700, geometry.total_lbns - 1]
+    with pytest.warns(RuntimeWarning, match="numpy is not installed"):
+        tracks, cylinders, surfaces, sectors = geometry.translate_batch(lbns)
+    for lbn, track, cylinder, surface, sector in zip(
+        lbns, tracks, cylinders, surfaces, sectors
+    ):
+        address = geometry.lbn_to_physical(lbn)
+        assert (cylinder, surface, sector) == (
+            address.cylinder, address.surface, address.sector
+        )
+        assert track == geometry.track_of_lbn(lbn)
+    # Further batches neither warn again nor re-attempt the import.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        geometry.translate_batch(lbns)
+        geometry.translate_batch(lbns)
+    assert len(no_numpy) == 1
+
+
+def test_replay_degrades_to_scalar_without_numpy(no_numpy):
+    drive = DiskDrive(small_test_specs(**SMALL))
+    rng = random.Random(7)
+    trace = Trace()
+    for i in range(50):
+        trace.append(i * 1.0, rng.randrange(0, drive.geometry.total_lbns - 64),
+                     rng.randint(1, 64), "read")
+    engine = TraceReplayEngine(drive, fast=True)
+    with pytest.warns(RuntimeWarning, match="numpy is not installed"):
+        stats = engine.replay(trace)
+    assert engine.last_replay_path == "scalar"
+    assert engine.last_fast_reason == "numpy unavailable"
+    assert stats.issued_requests == len(trace)
+    # A second replay goes straight to the scalar path: no new attempt.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        engine.replay(trace)
+    assert len(no_numpy) == 1
