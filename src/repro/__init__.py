@@ -55,10 +55,19 @@ from .api import (
     scenario_hash,
     workload_config,
 )
-from .disksim import DiskDrive, DiskRequest, get_specs, small_test_specs
+from .disksim import (
+    DiskDrive,
+    DiskRequest,
+    Scheduler,
+    available_schedulers,
+    get_scheduler,
+    get_specs,
+    make_scheduler,
+    small_test_specs,
+)
 from .sim import LbnRangeShard, ReplayStats, Trace, TraceRecordingDrive, TraceReplayEngine
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Campaign",
@@ -77,11 +86,13 @@ __all__ = [
     "Scenario",
     "ScenarioConfig",
     "Trace",
+    "Scheduler",
     "TraceRecordingDrive",
     "TraceReplayEngine",
     "UnknownWorkloadError",
     "WorkloadConfig",
     "__version__",
+    "available_schedulers",
     "available_workloads",
     "build_drive",
     "build_fleet",
@@ -89,8 +100,10 @@ __all__ = [
     "build_trace",
     "clear_drive_build_cache",
     "compare_scenarios",
+    "get_scheduler",
     "get_specs",
     "get_workload",
+    "make_scheduler",
     "register_workload",
     "run_campaign",
     "run_scenario",

@@ -76,6 +76,12 @@ def scenario_hash(config: ScenarioConfig) -> str:
     selects an execution path whose results are bitwise identical to the
     scalar one, so pinning it on or off does not change what the scenario
     measures and must not invalidate a store's existing records.
+
+    Every *semantic* option stays in the hash -- in particular
+    ``options["scheduler"]`` (and its ``starvation_ms`` / ``queue_depth``
+    companions): distinct dispatch policies service different schedules and
+    must get distinct store records (the regression tests assert both
+    directions).
     """
     data = config.to_dict()
     data.pop("name", None)

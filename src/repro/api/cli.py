@@ -5,7 +5,8 @@ Subcommands:
 * ``run scenario.json``       -- run one declarative scenario and print its
   headline metrics (``--json out.json`` dumps the full result,
   ``--profile`` prints the top-20 cumulative cProfile entries of the run,
-  ``--fast on|off|auto`` pins or disables the columnar replay kernel),
+  ``--fast on|off|auto`` pins or disables the columnar replay kernel,
+  ``--scheduler POLICY`` overrides the replay dispatch policy),
 * ``compare a.json b.json``   -- run two scenarios and print the diff; when
   they differ only in the ``traxtent`` flag the traxtent win is printed
   directly (the paper's aligned-vs-unaligned experiment),
@@ -13,8 +14,8 @@ Subcommands:
   sweep; ``--workers N`` fans scenarios out over a process pool and
   ``--store DIR`` makes the sweep resumable (completed points are logged
   as cache hits and never recomputed),
-* ``list``                    -- registered workloads and drive models
-  (``--json`` for the machine-readable registries).
+* ``list``                    -- registered workloads, drive models and
+  scheduling policies (``--json`` for the machine-readable registries).
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ import sys
 from typing import Sequence
 
 from ..disksim.errors import DiskSimError
+from ..disksim.sched import available_schedulers, get_scheduler
 from ..disksim.specs import available_models
 from .campaign import CampaignConfig, run_campaign
 from .config import ScenarioConfig
@@ -59,6 +61,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="cProfile the run and print the top-20 cumulative entries "
         "(hot-path regressions become diagnosable without editing code)",
+    )
+    run_cmd.add_argument(
+        "--scheduler", choices=available_schedulers(), metavar="POLICY",
+        help="override the replay dispatch policy "
+        f"({', '.join(available_schedulers())}); equivalent to setting "
+        "options.scheduler in the scenario file (and hashed like it)",
     )
     _add_fast_flag(run_cmd)
 
@@ -125,6 +133,8 @@ def _emit_json(payload: dict, path: str) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = ScenarioConfig.load(args.scenario)
+    if args.scheduler is not None:
+        config = config.with_overrides({"options.scheduler": args.scheduler})
     fast = _fast_value(args)
     if args.profile:
         import cProfile
@@ -189,6 +199,12 @@ def _json_safe(value: object) -> object:
     return value
 
 
+def _scheduler_entry(name: str) -> dict:
+    cls = get_scheduler(name)
+    doc = (cls.__doc__ or "").strip().splitlines()
+    return {"name": name, "description": doc[0] if doc else ""}
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     if args.as_json:
         payload = {
@@ -197,6 +213,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 _workload_entry(name) for name in available_workloads()
             ],
             "drive_models": list(available_models()),
+            "schedulers": [
+                _scheduler_entry(name) for name in available_schedulers()
+            ],
         }
         print(json.dumps(payload, indent=2))
         return 0
@@ -208,6 +227,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("drive models:")
     for model in available_models():
         print(f"  {model}")
+    print("schedulers:")
+    for name in available_schedulers():
+        entry = _scheduler_entry(name)
+        print(f"  {name:12s} {entry['description']}")
     return 0
 
 

@@ -174,7 +174,10 @@ class ScenarioConfig:
     raw-disk workloads and the traxtent FFS variant for file-system
     workloads.  ``options`` holds kind-specific extras (for ``efficiency``:
     ``sizes_sectors``, ``queue_depth``, ``n_requests``, ``op``,
-    ``zone_index``).
+    ``zone_index``; for ``replay``: ``scheduler`` -- a dispatch policy name
+    from :func:`repro.disksim.sched.available_schedulers` --
+    ``starvation_ms``, ``queue_depth`` for closed replay, ``stripe``,
+    ``stripe_seed`` and the execution-only ``fast`` switch).
     """
 
     name: str = "scenario"
@@ -196,6 +199,12 @@ class ScenarioConfig:
             raise ConfigError(f"unknown replay mode {self.mode!r}; one of {MODES}")
         if self.batch_size <= 0:
             raise ConfigError("batch_size must be positive")
+        policy = self.options.get("scheduler")
+        if isinstance(policy, str) and policy != policy.lower():
+            # Policy names are case-insensitive at lookup time; normalise
+            # here so 'SPTF' and 'sptf' share one scenario_hash (and one
+            # result-store record).
+            self.options["scheduler"] = policy.lower()
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict[str, Any]:

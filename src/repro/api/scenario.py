@@ -32,6 +32,7 @@ from typing import Any, Mapping
 
 from ..core.efficiency import efficiency_curve
 from ..disksim.drive import DiskDrive
+from ..disksim.sched import get_scheduler
 from ..sim.engine import TraceReplayEngine
 from ..sim.shard import LbnRangeShard
 from ..sim.trace import Trace
@@ -99,14 +100,51 @@ def _run_replay(config: ScenarioConfig, fast: bool | None = None) -> RunResult:
     if fast is None:
         option = config.options.get("fast")
         fast = None if option is None else bool(option)
-    engine = TraceReplayEngine(fleet, batch_size=config.batch_size, fast=fast)
+    policy = config.options.get("scheduler")
+    starvation = config.options.get("starvation_ms")
+    depth = int(config.options.get("queue_depth", 1))
+    if starvation is not None and policy is None:
+        # A bound with no policy selected would be silently ignored while
+        # still forking the scenario's content hash -- refuse.  (With an
+        # explicit 'fcfs' policy the bound is a legitimate no-op: the
+        # oldest request is always FCFS's own pick.)
+        raise ConfigError(
+            "options['starvation_ms'] needs options['scheduler'] to be "
+            "set; pick a policy for the bound to act on"
+        )
+    if config.mode == "open" and "queue_depth" in config.options:
+        # In open replay the queue emerges from arrivals outrunning
+        # service; a depth knob would be silently ignored while still
+        # forking the scenario's content hash -- refuse instead.
+        raise ConfigError(
+            "options['queue_depth'] applies to closed replay only; this "
+            "scenario replays in 'open' mode (queueing emerges from the "
+            "trace's arrival times)"
+        )
+    engine = TraceReplayEngine(
+        fleet,
+        batch_size=config.batch_size,
+        fast=fast,
+        scheduler=policy,
+        starvation_ms=None if starvation is None else float(starvation),
+        queue_depth=depth,
+    )
     if config.mode == "closed":
         stats = engine.replay_closed(trace, think_ms=config.think_ms)
     else:
         stats = engine.replay(trace)
-    return RunResult.from_replay(
+    result = RunResult.from_replay(
         stats, scenario=config.name, traxtent=config.traxtent
     )
+    if policy is not None:
+        # Scheduling is part of the experiment's identity (unlike 'fast'),
+        # so the chosen policy -- and, for non-FCFS policies, the forced
+        # scalar replay path -- is reported in the result payload.
+        result.details["scheduler"] = engine.scheduler_name
+        if engine.scheduler_name != "fcfs":
+            result.details["replay_path"] = engine.last_replay_path
+            result.details["fast_reason"] = engine.last_fast_reason
+    return result
 
 
 def _should_stripe(
@@ -143,6 +181,15 @@ def _should_stripe(
 def _run_efficiency(config: ScenarioConfig) -> RunResult:
     drive = build_drive(config.drive)
     opts = config.options
+    for knob in ("scheduler", "starvation_ms"):
+        # These knobs would be silently ignored here while still forking
+        # the scenario's content hash -- refuse instead of measuring
+        # nothing.  (queue_depth is a real efficiency parameter.)
+        if opts.get(knob) is not None:
+            raise ConfigError(
+                f"options[{knob!r}] applies to replay scenarios only; "
+                f"this scenario has kind 'efficiency' (got {opts[knob]!r})"
+            )
     sizes = opts.get("sizes_sectors") or [drive.specs.max_sectors_per_track]
     points = efficiency_curve(
         drive,
@@ -305,6 +352,31 @@ class Scenario:
         merged = dict(self._config.options)
         merged.update(extra)
         return self._replace(options=merged)
+
+    def scheduler(
+        self,
+        policy: str,
+        starvation_ms: float | None = None,
+        queue_depth: int | None = None,
+    ) -> "Scenario":
+        """Select the drive's dispatch-time scheduling policy.
+
+        ``policy`` is a name from
+        :func:`repro.disksim.sched.available_schedulers` (``fcfs``,
+        ``sstf``, ``sptf``, ``clook``, ``traxtent``); ``starvation_ms``
+        bounds how long any queued request may wait before it is dispatched
+        regardless of the policy; ``queue_depth`` (closed replay only)
+        keeps that many requests outstanding per drive so the policy has a
+        queue to reorder.  Unlike :meth:`fast`, scheduling changes what the
+        scenario *measures*, so all three knobs enter ``scenario_hash``.
+        """
+        get_scheduler(policy)  # fail fast on unknown names
+        extra: dict[str, Any] = {"scheduler": str(policy).lower()}
+        if starvation_ms is not None:
+            extra["starvation_ms"] = float(starvation_ms)
+        if queue_depth is not None:
+            extra["queue_depth"] = int(queue_depth)
+        return self.options(**extra)
 
     def fast(self, enabled: bool = True) -> "Scenario":
         """Enable the columnar replay kernel (or force the scalar path

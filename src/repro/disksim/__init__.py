@@ -44,6 +44,19 @@ from .mechanics import (
     expected_rotational_latency_ms,
 )
 from .queueing import WorkloadResult, run_onereq, run_round, run_tworeq
+from .sched import (
+    CLOOKScheduler,
+    FCFSScheduler,
+    QueuedRequest,
+    SPTFScheduler,
+    SSTFScheduler,
+    Scheduler,
+    SchedulerError,
+    TraxtentBatchScheduler,
+    available_schedulers,
+    get_scheduler,
+    make_scheduler,
+)
 from .scsi import ScsiCounters, ScsiInterface
 from .seek import SeekCurve
 from .specs import (
@@ -62,6 +75,7 @@ __all__ = [
     "BatchResult",
     "BusModel",
     "BusResult",
+    "CLOOKScheduler",
     "CacheLookup",
     "CompletedRequest",
     "Defect",
@@ -73,14 +87,20 @@ __all__ = [
     "DiskSimError",
     "DiskSpecs",
     "DriveStats",
+    "FCFSScheduler",
     "FirmwareCache",
     "GeometryError",
     "MediaError",
     "MediaRun",
     "PhysicalAddress",
+    "QueuedRequest",
     "READ",
     "RequestError",
     "SECTOR_SIZE",
+    "SPTFScheduler",
+    "SSTFScheduler",
+    "Scheduler",
+    "SchedulerError",
     "ScsiCounters",
     "ScsiInterface",
     "SeekCurve",
@@ -88,15 +108,19 @@ __all__ = [
     "SpecError",
     "TABLE1_ORDER",
     "TrackExtent",
+    "TraxtentBatchScheduler",
     "WRITE",
     "WorkloadResult",
     "Zone",
     "access_arc",
     "available_models",
+    "available_schedulers",
     "default_zones",
     "expected_access_ms",
     "expected_rotational_latency_ms",
+    "get_scheduler",
     "get_specs",
+    "make_scheduler",
     "run_onereq",
     "run_round",
     "run_tworeq",

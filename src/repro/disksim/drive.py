@@ -244,6 +244,9 @@ class DiskDrive:
                 num_segments=specs.cache_segments, readahead_sectors=readahead
             )
         self.zero_latency = specs.zero_latency if zero_latency is None else zero_latency
+        #: Optional dispatch-time policy (see :mod:`repro.disksim.sched`).
+        #: ``None`` keeps the drive's classic immediate-service behaviour.
+        self.scheduler = None
         self.stats = DriveStats()
         # Memo tables for the batched fast path.  All values are pure
         # functions of the immutable specs/geometry, so they survive reset().
@@ -263,7 +266,50 @@ class DiskDrive:
         self.actuator_free = time
         self.bus_free = time
         self.cache.invalidate()
+        if self.scheduler is not None:
+            self.scheduler.clear()
         self.stats = DriveStats()
+
+    # ------------------------------------------------------------------ #
+    # Scheduled (queued) request interface
+    # ------------------------------------------------------------------ #
+    def attach_scheduler(self, scheduler) -> None:
+        """Attach a dispatch-time policy (see :mod:`repro.disksim.sched`).
+
+        The scheduler is bound to this drive (its queue policies sort by
+        this drive's geometry and head position) and starts empty.
+        ``None`` detaches, restoring classic immediate service.
+        """
+        self.scheduler = scheduler
+        if scheduler is not None:
+            scheduler.bind(self)
+
+    @property
+    def pending(self) -> int:
+        """Number of requests waiting in the attached scheduler's queue."""
+        return len(self.scheduler) if self.scheduler is not None else 0
+
+    def enqueue(self, request: DiskRequest, issue_time: float) -> None:
+        """Admit a request to the pending queue without servicing it."""
+        if self.scheduler is None:
+            raise RequestError(
+                "no scheduler attached; call attach_scheduler() first"
+            )
+        self._validate(request)
+        self.scheduler.push(request, issue_time)
+
+    def dispatch_next(self, now: float) -> CompletedRequest | None:
+        """Let the scheduler pick one pending request and service it.
+
+        ``now`` is the dispatch-decision time: the policy sees the head
+        position and (for SPTF) rotation phase the mechanism will have when
+        it becomes free, and the starvation bound is evaluated against it.
+        Returns ``None`` when the queue is empty.
+        """
+        if self.scheduler is None or not len(self.scheduler):
+            return None
+        entry = self.scheduler.pop(now)
+        return self.submit(entry.request, entry.issue_time)
 
     # ------------------------------------------------------------------ #
     # Public request interface

@@ -29,6 +29,7 @@ from typing import Sequence, Union
 from ..analysis.stats import summarize
 from ..disksim.drive import BatchResult, DiskDrive, DiskRequest, DriveStats
 from ..disksim.errors import RequestError
+from ..disksim.sched import Scheduler, make_scheduler
 from .shard import LbnRangeShard
 from .trace import Trace
 
@@ -126,6 +127,21 @@ class TraceReplayEngine:
     implementation ran (``"kernel"`` or ``"scalar"``) and
     :attr:`last_fast_reason` carries the kernel's refusal reason (or
     ``None`` when the kernel ran / was disabled).
+
+    ``scheduler`` selects the drive-level dispatch policy (a name from
+    :func:`repro.disksim.sched.available_schedulers`, a
+    :class:`~repro.disksim.sched.Scheduler` instance used as a per-drive
+    prototype, or ``None`` = FCFS).  Under FCFS the engine keeps its classic
+    batched/kernel fast paths and is bitwise identical to the
+    pre-scheduler engine.  Any other policy makes dispatch order depend on
+    queue state at dispatch time, which is inherently serial: those replays
+    run an exact scalar queue loop (``last_replay_path == "scalar"``, with
+    :attr:`last_fast_reason` explaining why the kernel was skipped).
+
+    ``queue_depth`` applies to closed replay only: each drive keeps up to
+    that many requests outstanding (admitting the next trace request when
+    one completes), giving the scheduler a queue to reorder.  Depth 1 is
+    the classic onereq discipline.
     """
 
     def __init__(
@@ -133,9 +149,14 @@ class TraceReplayEngine:
         target: ReplayTarget,
         batch_size: int = 4096,
         fast: bool | None = None,
+        scheduler: "str | Scheduler | None" = None,
+        starvation_ms: float | None = None,
+        queue_depth: int = 1,
     ) -> None:
         if batch_size <= 0:
             raise RequestError("batch_size must be positive")
+        if queue_depth < 1:
+            raise RequestError("queue_depth must be positive")
         if isinstance(target, LbnRangeShard):
             self.fleet = target
         elif isinstance(target, DiskDrive):
@@ -144,8 +165,17 @@ class TraceReplayEngine:
             self.fleet = LbnRangeShard(list(target))
         self.batch_size = batch_size
         self.fast = fast
+        self.scheduler = make_scheduler(scheduler, starvation_ms)
+        self.scheduler_name = self.scheduler.name
+        self.queue_depth = queue_depth
         self.last_replay_path: str | None = None
         self.last_fast_reason: str | None = None
+
+    def _scheduler_fast_reason(self) -> str:
+        return (
+            f"scheduler policy {self.scheduler_name!r} reorders requests at "
+            "dispatch time; only fcfs is kernel/batch eligible"
+        )
 
     # ------------------------------------------------------------------ #
     # Open replay
@@ -161,7 +191,12 @@ class TraceReplayEngine:
         When the columnar kernel is enabled (``fast`` is ``None`` or
         ``True``) and applicable, the whole trace is serviced with numpy
         array math instead; the returned statistics are bitwise identical.
+
+        With a non-FCFS scheduler the replay runs the exact scalar queue
+        loop instead (see :meth:`_replay_open_scheduled`).
         """
+        if self.scheduler_name != "fcfs":
+            return self._replay_open_scheduled(trace, reset=reset)
         if self.fast is None or self.fast:
             from .kernel import replay_kernel
 
@@ -180,45 +215,7 @@ class TraceReplayEngine:
         before = fleet.combined_stats()
         split_before = fleet.split_requests
         ordered = trace if trace.is_time_ordered() else trace.sorted_by_issue()
-
-        n_shards = len(fleet)
-        if n_shards == 1:
-            # Single-drive replay: the trace columns feed submit_batch
-            # directly, no per-request routing work at all.
-            shard_ops = [ordered.ops]
-            shard_lbns = [ordered.lbns]
-            shard_counts = [ordered.counts]
-            shard_times = [ordered.issue_ms]
-            fleet.routed_requests += len(ordered)
-        else:
-            shard_ops = [[] for _ in range(n_shards)]
-            shard_lbns = [[] for _ in range(n_shards)]
-            shard_counts = [[] for _ in range(n_shards)]
-            shard_times = [[] for _ in range(n_shards)]
-            starts = [fleet.shard_range(s)[0] for s in range(n_shards)]
-            ends = [fleet.shard_range(s)[1] for s in range(n_shards)]
-            route = fleet.route
-            bisect = bisect_right
-            routed = 0
-            for t, lbn, count, op in zip(
-                ordered.issue_ms, ordered.lbns, ordered.counts, ordered.ops
-            ):
-                # Inlined single-shard routing; boundary-crossing requests
-                # take the general (splitting, counted) path.
-                shard = bisect(starts, lbn) - 1
-                if 0 <= shard < n_shards and lbn + count <= ends[shard] and lbn >= 0:
-                    shard_ops[shard].append(op)
-                    shard_lbns[shard].append(lbn - starts[shard])
-                    shard_counts[shard].append(count)
-                    shard_times[shard].append(t)
-                    routed += 1
-                    continue
-                for piece in route(lbn, count):
-                    shard_ops[piece.shard].append(op)
-                    shard_lbns[piece.shard].append(piece.lbn)
-                    shard_counts[piece.shard].append(piece.count)
-                    shard_times[piece.shard].append(t)
-            fleet.routed_requests += routed
+        shard_ops, shard_lbns, shard_counts, shard_times = self._route_open(ordered)
 
         batch = self.batch_size
         results: list[BatchResult] = []
@@ -237,6 +234,189 @@ class TraceReplayEngine:
             results.append(result)
         return self._aggregate(ordered, results, "open", before, split_before)
 
+    def _route_open(
+        self, ordered: Trace
+    ) -> tuple[list, list, list, list]:
+        """Route a time-ordered trace into per-shard request columns.
+
+        Returns ``(ops, lbns, counts, issue_times)``, each a list with one
+        per-shard column.  Single-drive fleets reuse the trace columns
+        directly; multi-drive fleets take the inlined single-shard routing
+        with the general splitting path for boundary-crossing requests.
+        """
+        fleet = self.fleet
+        n_shards = len(fleet)
+        if n_shards == 1:
+            # Single-drive replay: the trace columns feed the service loop
+            # directly, no per-request routing work at all.
+            fleet.routed_requests += len(ordered)
+            return (
+                [ordered.ops],
+                [ordered.lbns],
+                [ordered.counts],
+                [ordered.issue_ms],
+            )
+        shard_ops: list[list] = [[] for _ in range(n_shards)]
+        shard_lbns: list[list] = [[] for _ in range(n_shards)]
+        shard_counts: list[list] = [[] for _ in range(n_shards)]
+        shard_times: list[list] = [[] for _ in range(n_shards)]
+        starts = [fleet.shard_range(s)[0] for s in range(n_shards)]
+        ends = [fleet.shard_range(s)[1] for s in range(n_shards)]
+        route = fleet.route
+        bisect = bisect_right
+        routed = 0
+        for t, lbn, count, op in zip(
+            ordered.issue_ms, ordered.lbns, ordered.counts, ordered.ops
+        ):
+            # Inlined single-shard routing; boundary-crossing requests
+            # take the general (splitting, counted) path.
+            shard = bisect(starts, lbn) - 1
+            if 0 <= shard < n_shards and lbn + count <= ends[shard] and lbn >= 0:
+                shard_ops[shard].append(op)
+                shard_lbns[shard].append(lbn - starts[shard])
+                shard_counts[shard].append(count)
+                shard_times[shard].append(t)
+                routed += 1
+                continue
+            for piece in route(lbn, count):
+                shard_ops[piece.shard].append(op)
+                shard_lbns[piece.shard].append(piece.lbn)
+                shard_counts[piece.shard].append(piece.count)
+                shard_times[piece.shard].append(t)
+        fleet.routed_requests += routed
+        return shard_ops, shard_lbns, shard_counts, shard_times
+
+    def _route_closed(self, trace: Trace) -> list[list[tuple[str, int, int]]]:
+        """Route a trace into per-shard ``(op, local_lbn, count)`` queues
+        for closed replay (timestamps are ignored; trace order is kept)."""
+        fleet = self.fleet
+        queues: list[list[tuple[str, int, int]]] = [[] for _ in range(len(fleet))]
+        route = fleet.route
+        for lbn, count, op in zip(trace.lbns, trace.counts, trace.ops):
+            for shard, local_lbn, piece_count in route(lbn, count):
+                queues[shard].append((op, local_lbn, piece_count))
+        return queues
+
+    # ------------------------------------------------------------------ #
+    # Scheduled replay (non-FCFS policies, and closed depth > 1)
+    # ------------------------------------------------------------------ #
+    def _replay_open_scheduled(self, trace: Trace, reset: bool = True) -> ReplayStats:
+        """Open replay through each drive's pending queue.
+
+        Requests are *admitted* at their trace timestamps but *dispatched*
+        by the scheduler: whenever a drive's mechanism is ready for its
+        next access, every request that has arrived by that instant is a
+        candidate and the policy picks one.  Under FCFS this dispatch order
+        degenerates to arrival order (which is why FCFS replays keep the
+        batched/kernel fast paths instead of this loop).
+        """
+        self.last_replay_path = "scalar"
+        self.last_fast_reason = self._scheduler_fast_reason()
+        fleet = self.fleet
+        if reset:
+            fleet.reset()
+        before = fleet.combined_stats()
+        split_before = fleet.split_requests
+        ordered = trace if trace.is_time_ordered() else trace.sorted_by_issue()
+        shard_ops, shard_lbns, shard_counts, shard_times = self._route_open(ordered)
+
+        results: list[BatchResult] = []
+        forced = 0
+        for shard, drive in enumerate(fleet.drives):
+            sched = self.scheduler.clone()
+            drive.attach_scheduler(sched)
+            try:
+                result = BatchResult()
+                ops = shard_ops[shard]
+                lbns = shard_lbns[shard]
+                counts = shard_counts[shard]
+                times = shard_times[shard]
+                n = len(ops)
+                i = 0
+                enqueue = drive.enqueue
+                while i < n or len(sched):
+                    if len(sched) == 0:
+                        # Idle drive: the next dispatch decision happens
+                        # when the next request arrives.
+                        now = times[i]
+                        if drive.actuator_free > now:
+                            now = drive.actuator_free
+                    else:
+                        # Busy drive: decide when the mechanism frees up.
+                        now = drive.actuator_free
+                    while i < n and times[i] <= now:
+                        enqueue(DiskRequest(ops[i], lbns[i], counts[i]), times[i])
+                        i += 1
+                    done = drive.dispatch_next(now)
+                    result.append_completed(done)
+                forced += sched.forced_dispatches
+                results.append(result)
+            finally:
+                drive.attach_scheduler(None)
+        stats = self._aggregate(ordered, results, "open", before, split_before)
+        stats.extras["forced_dispatches"] = float(forced)
+        return stats
+
+    def _replay_closed_scheduled(
+        self, trace: Trace, think_ms: float, reset: bool
+    ) -> ReplayStats:
+        """Closed replay with a scheduled pending queue per drive.
+
+        Each drive keeps up to ``queue_depth`` requests outstanding: the
+        first ``queue_depth`` trace requests are admitted at time zero and
+        every completion admits the next one (plus ``think_ms``).  The
+        scheduler picks among the queued requests at every dispatch.
+        Depth 1 under FCFS reproduces the classic onereq loop exactly.
+        """
+        self.last_replay_path = "scalar"
+        self.last_fast_reason = (
+            self._scheduler_fast_reason()
+            if self.scheduler_name != "fcfs"
+            else None
+        )
+        fleet = self.fleet
+        if reset:
+            fleet.reset()
+        before = fleet.combined_stats()
+        split_before = fleet.split_requests
+        queues = self._route_closed(trace)
+
+        depth = self.queue_depth
+        results: list[BatchResult] = []
+        forced = 0
+        for shard, drive in enumerate(fleet.drives):
+            sched = self.scheduler.clone()
+            drive.attach_scheduler(sched)
+            try:
+                result = BatchResult()
+                queue = queues[shard]
+                n = len(queue)
+                i = 0
+                now = 0.0
+                enqueue = drive.enqueue
+                while i < n and len(sched) < depth:
+                    op, lbn, count = queue[i]
+                    enqueue(DiskRequest(op, lbn, count), now)
+                    i += 1
+                while len(sched):
+                    decision = drive.actuator_free
+                    if now > decision:
+                        decision = now
+                    done = drive.dispatch_next(decision)
+                    result.append_completed(done)
+                    now = done.completion + think_ms
+                    if i < n:
+                        op, lbn, count = queue[i]
+                        enqueue(DiskRequest(op, lbn, count), now)
+                        i += 1
+                forced += sched.forced_dispatches
+                results.append(result)
+            finally:
+                drive.attach_scheduler(None)
+        stats = self._aggregate(trace, results, "closed", before, split_before)
+        stats.extras["forced_dispatches"] = float(forced)
+        return stats
+
     # ------------------------------------------------------------------ #
     # Closed replay
     # ------------------------------------------------------------------ #
@@ -252,8 +432,12 @@ class TraceReplayEngine:
         completion sequence is produced in global time order.
 
         Closed replay is always scalar-serviced; the columnar kernel only
-        covers open replay.
+        covers open replay.  A non-FCFS scheduler or ``queue_depth > 1``
+        routes to the scheduled queue loop
+        (:meth:`_replay_closed_scheduled`) instead.
         """
+        if self.scheduler_name != "fcfs" or self.queue_depth > 1:
+            return self._replay_closed_scheduled(trace, think_ms, reset)
         self.last_replay_path = "scalar"
         self.last_fast_reason = None
         fleet = self.fleet
@@ -262,13 +446,7 @@ class TraceReplayEngine:
         before = fleet.combined_stats()
         split_before = fleet.split_requests
         n_shards = len(fleet)
-        queues: list[list[tuple[str, int, int]]] = [[] for _ in range(n_shards)]
-        route = fleet.route
-        for t, lbn, count, op in zip(
-            trace.issue_ms, trace.lbns, trace.counts, trace.ops
-        ):
-            for shard, local_lbn, piece_count in route(lbn, count):
-                queues[shard].append((op, local_lbn, piece_count))
+        queues = self._route_closed(trace)
 
         results = [BatchResult() for _ in range(n_shards)]
         cursors = [0] * n_shards

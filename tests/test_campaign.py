@@ -197,6 +197,69 @@ class TestCampaignConfig:
         assert scenario_hash(a) == scenario_hash(b)
         assert scenario_hash(a) != scenario_hash(c)
 
+    def test_scenario_hash_includes_scheduler_but_not_fast(self):
+        """Regression: ``options["scheduler"]`` (and its companions) are
+        semantic and must produce distinct hashes; ``options["fast"]`` is
+        an execution knob and must stay hash-invariant."""
+        base = ScenarioConfig(seed=1)
+        policies = ["fcfs", "sstf", "sptf", "clook", "traxtent"]
+        hashes = {
+            scenario_hash(
+                base.with_overrides({"options.scheduler": policy})
+            )
+            for policy in policies
+        }
+        assert len(hashes) == len(policies)
+        assert scenario_hash(base) not in hashes  # no-scheduler differs too
+        # starvation bound and queue depth are part of the identity as well
+        sstf = base.with_overrides({"options.scheduler": "sstf"})
+        assert scenario_hash(
+            sstf.with_overrides({"options.starvation_ms": 50.0})
+        ) != scenario_hash(sstf)
+        assert scenario_hash(
+            sstf.with_overrides({"options.queue_depth": 8})
+        ) != scenario_hash(sstf)
+        # ... while 'fast' stays invariant, scheduler set or not
+        assert scenario_hash(
+            sstf.with_overrides({"options.fast": False})
+        ) == scenario_hash(sstf)
+        assert scenario_hash(
+            base.with_overrides({"options.fast": True})
+        ) == scenario_hash(base)
+
+    def test_scheduler_points_get_distinct_store_records(self, tmp_path):
+        """Distinct policies must land as distinct records in one store."""
+        base = ScenarioConfig(
+            name="sched-base",
+            kind="replay",
+            drive=SMALL_DRIVE,
+            workload=WorkloadConfig(
+                name="synthetic",
+                params={"n_requests": 40},
+                interarrival_ms=1.0,
+            ),
+            traxtent=False,
+            seed=3,
+        )
+        campaign = CampaignConfig(
+            name="sched",
+            base=base,
+            grid={"options.scheduler": ["fcfs", "sstf", "sptf"]},
+        )
+        store = ResultStore(tmp_path / "store")
+        result = run_campaign(campaign, store=store)
+        assert len(store) == 3
+        assert result.executed == 3
+        again = run_campaign(campaign, store=store)
+        assert again.cache_hits == 3
+        by_policy = {
+            run.overrides["options.scheduler"]: run.payload for run in result
+        }
+        assert by_policy["fcfs"] != by_policy["sstf"]
+        assert by_policy["sstf"]["details"]["replay_path"] == "scalar"
+        assert by_policy["sptf"]["details"]["replay_path"] == "scalar"
+        assert "replay_path" not in by_policy["fcfs"].get("details", {})
+
     def test_extending_a_sweep_keeps_existing_hashes(self):
         """Adding a grid value must not shift prior points' store keys."""
         small = efficiency_campaign()
