@@ -30,6 +30,18 @@ Two regression gates run in the same measurement:
   than 20 % below the committed baseline in ``BENCH_replay.json``
   (normalizing by the same-run naive rps cancels machine speed, so the
   gate is meaningful on heterogeneous CI hardware).
+
+A second benchmark, :func:`test_scheduled_replay_throughput`, measures the
+event-batched *scheduled* kernel: a depth-8 closed replay of 8000
+track-aligned whole-track reads for every scheduling policy, scalar queue
+loop vs ``kernel_sched``, best-of-3 each.  The scheduled kernel must beat
+the scalar queue loop by >= 8x on every policy, produce bitwise-identical
+``ReplayStats``, and its per-policy speedups are regression-gated at 20 %
+against the committed baseline (same-run normalization again: the speedup
+is a ratio of two runs on the same machine, so it transfers across
+hardware).  Results land in a ``scheduled`` section of
+``BENCH_replay.json`` and as a second line ("kind": "scheduled") in
+``BENCH_history.jsonl``.
 """
 
 from __future__ import annotations
@@ -67,6 +79,27 @@ MAX_REGRESSION = 0.20
 #: Every mode is timed this many times and the fastest run is reported
 #: (standard best-of-N to keep the speedup ratios stable under CI noise).
 REPEATS = 3
+
+# Scheduled-replay benchmark (test_scheduled_replay_throughput)
+SCHED_POLICIES = ("fcfs", "sstf", "sptf", "clook", "traxtent")
+SCHED_REQUESTS = 8_000
+SCHED_DEPTH = 8
+#: The scheduled kernel must beat the scalar queue loop by this factor on
+#: every policy (the hardest is SPTF, whose per-candidate positioning
+#: score keeps the most work inside the serial recurrence).
+MIN_SCHED_SPEEDUP = 8.0
+
+#: Committed baseline snapshotted at import, before any test rewrites
+#: ``BENCH_replay.json`` -- both benchmarks gate against the same commit.
+def _load_bench() -> dict:
+    try:
+        data = json.loads(BENCH_PATH.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+COMMITTED_BASELINE = _load_bench()
 
 
 def _best_of(repeats: int, run) -> float:
@@ -153,10 +186,7 @@ def test_replay_throughput(record):
     aligned_fraction = trace.aligned_fraction(reference.geometry)
     assert aligned_fraction == 1.0
 
-    try:
-        baseline = json.loads(BENCH_PATH.read_text())
-    except (OSError, json.JSONDecodeError):
-        baseline = None
+    baseline = COMMITTED_BASELINE or None
 
     # --- naive per-request loop (the seed baseline) -------------------- #
     naive_drive = build_drive(DRIVE_CONFIG)
@@ -266,10 +296,14 @@ def test_replay_throughput(record):
     }
     # History records every run; the baseline is only replaced when the
     # regression gate passes, so a failing run cannot ratchet the committed
-    # BENCH_replay.json down and green-light its own rerun.
+    # BENCH_replay.json down and green-light its own rerun.  The scheduled
+    # section (owned by test_scheduled_replay_throughput) is carried over.
     _append_history(payload)
     regressions = _check_regressions(baseline, payload)
     if not regressions:
+        scheduled = _load_bench().get("scheduled")
+        if scheduled is not None:
+            payload["scheduled"] = scheduled
         BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     lines = [
@@ -294,5 +328,144 @@ def test_replay_throughput(record):
     assert speedup_kernel >= MIN_KERNEL_SPEEDUP, (
         f"kernel replay only {speedup_kernel:.2f}x faster than the naive "
         f"loop (need >= {MIN_KERNEL_SPEEDUP}x): {kernel_rps:.0f} vs {naive_rps:.0f} rps"
+    )
+    assert not regressions, "; ".join(regressions)
+
+
+# --------------------------------------------------------------------------- #
+# Scheduled replay: scalar queue loop vs event-batched kernel, per policy
+# --------------------------------------------------------------------------- #
+
+def build_sched_trace(drive: DiskDrive, n: int, seed: int = 1234) -> Trace:
+    """``n`` whole-track 256-sector reads over random large tracks.
+
+    The paper's signature access shape -- track-aligned, extent-sized --
+    restricted to tracks that actually hold >= 256 sectors so every request
+    is a single-track access on both the scalar and kernel paths.
+    """
+    geometry = drive.geometry
+    tracks = []
+    for track in range(geometry.num_tracks):
+        first, count = geometry.track_bounds(track)
+        if count >= 256:
+            tracks.append(first)
+    rng = random.Random(seed)
+    trace = Trace()
+    for i in range(n):
+        trace.append(i * INTERARRIVAL_MS, tracks[rng.randrange(len(tracks))], 256, "read")
+    return trace
+
+
+def _time_sched_replay(trace: Trace, policy: str, fast: bool) -> tuple[float, object]:
+    """Best-of-``REPEATS`` seconds for one policy on one engine path."""
+    best = float("inf")
+    stats = None
+    for _ in range(REPEATS):
+        engine = TraceReplayEngine(
+            build_drive(KERNEL_DRIVE_CONFIG),
+            scheduler=policy,
+            queue_depth=SCHED_DEPTH,
+            fast=fast,
+        )
+        t0 = time.perf_counter()
+        stats = engine.replay_closed(trace, think_ms=0.0)
+        best = min(best, time.perf_counter() - t0)
+        expected = "kernel_sched" if fast else "scalar"
+        assert engine.last_replay_path == expected, (
+            policy, engine.last_replay_path, engine.last_fast_reason
+        )
+    return best, stats
+
+
+def _append_sched_history(section: dict) -> None:
+    line = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "commit": os.environ.get("GITHUB_SHA", ""),
+        "python": platform.python_version(),
+        "kind": "scheduled",
+        "depth": SCHED_DEPTH,
+        "requests": SCHED_REQUESTS,
+    }
+    for policy, row in section["policies"].items():
+        line[f"{policy}_speedup"] = row["speedup_vs_scalar"]
+    HISTORY_PATH.parent.mkdir(exist_ok=True)
+    with open(HISTORY_PATH, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line) + "\n")
+
+
+def _check_sched_regressions(baseline: dict, section: dict) -> list[str]:
+    """Per-policy 20 % gate on the scalar-normalized kernel speedups."""
+    reference_policies = (baseline.get("scheduled") or {}).get("policies") or {}
+    failures = []
+    for policy, row in section["policies"].items():
+        reference = (reference_policies.get(policy) or {}).get("speedup_vs_scalar")
+        if not reference:
+            continue  # baseline predates this policy
+        current = row["speedup_vs_scalar"]
+        if current < reference * (1.0 - MAX_REGRESSION):
+            failures.append(
+                f"kernel_sched {policy} speedup regressed >20%: "
+                f"{current:.2f}x vs committed baseline {reference:.2f}x"
+            )
+    return failures
+
+
+def test_scheduled_replay_throughput(record):
+    drive = build_drive(KERNEL_DRIVE_CONFIG)
+    trace = build_sched_trace(drive, SCHED_REQUESTS)
+    assert len(trace) == SCHED_REQUESTS
+    # Every request starts on a track boundary and fits inside its track
+    # (the builder only samples tracks holding >= 256 sectors).
+    assert all(count == 256 for count in trace.counts)
+
+    section = {
+        "requests": SCHED_REQUESTS,
+        "queue_depth": SCHED_DEPTH,
+        "min_speedup_required": MIN_SCHED_SPEEDUP,
+        "policies": {},
+    }
+    lines = [
+        "Scheduled replay throughput (scalar queue loop vs kernel_sched)",
+        f"  trace: {SCHED_REQUESTS} whole-track reads, depth {SCHED_DEPTH}, {MODEL}",
+    ]
+    for policy in SCHED_POLICIES:
+        kernel_s, kernel_stats = _time_sched_replay(trace, policy, fast=True)
+        scalar_s, scalar_stats = _time_sched_replay(trace, policy, fast=False)
+        # The whole point of the kernel: bitwise-identical statistics.
+        assert kernel_stats.to_dict() == scalar_stats.to_dict(), policy
+        speedup = scalar_s / kernel_s
+        section["policies"][policy] = {
+            "scalar_seconds": scalar_s,
+            "kernel_seconds": kernel_s,
+            "scalar_rps": len(trace) / scalar_s,
+            "kernel_rps": len(trace) / kernel_s,
+            "speedup_vs_scalar": speedup,
+        }
+        lines.append(
+            f"  {policy:9s}: {len(trace) / kernel_s:>10.0f} rps kernel_sched, "
+            f"{len(trace) / scalar_s:>8.0f} rps scalar  ({speedup:.2f}x)"
+        )
+    lines.append(
+        f"  artifacts: {BENCH_PATH.name}, {HISTORY_PATH.relative_to(REPO_ROOT)}"
+    )
+    record("BENCH_replay_scheduled", "\n".join(lines))
+
+    _append_sched_history(section)
+    regressions = _check_sched_regressions(COMMITTED_BASELINE, section)
+    if not regressions:
+        merged = _load_bench()
+        merged["scheduled"] = section
+        BENCH_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+
+    slow = {
+        policy: row["speedup_vs_scalar"]
+        for policy, row in section["policies"].items()
+        if row["speedup_vs_scalar"] < MIN_SCHED_SPEEDUP
+    }
+    assert not slow, (
+        f"kernel_sched below the {MIN_SCHED_SPEEDUP}x floor vs the scalar "
+        f"queue loop: {slow}"
     )
     assert not regressions, "; ".join(regressions)

@@ -8,6 +8,12 @@ five policies (fcfs / sstf / sptf / clook / traxtent batching) crossed with
 track alignment and closed-replay queue depth -- and prints the mean
 service time of every point.
 
+The campaign disables the firmware cache, so with numpy installed every
+point replays through the event-batched scheduled kernel
+(``details["replay_path"] == "kernel_sched"``, ~10x the scalar queue
+loop); without numpy it degrades to the bitwise-identical scalar path, so
+the numbers below are the same either way.
+
 Run with:  python examples/campaign_schedulers.py
 The same sweep, from its checked-in JSON form:
            python -m repro sweep examples/campaign_schedulers.json

@@ -111,9 +111,10 @@ def _build_parser() -> argparse.ArgumentParser:
 def _add_fast_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fast", choices=("auto", "on", "off"), default="auto",
-        help="columnar replay kernel: 'auto' (default) and 'on' use it "
-        "whenever applicable (ineligible replays fall back to the exact "
-        "scalar path), 'off' forces the scalar path; results are bitwise "
+        help="columnar replay kernels (FCFS kernel and the event-batched "
+        "scheduled kernel): 'auto' (default) and 'on' use them whenever "
+        "applicable (ineligible replays fall back to the exact scalar "
+        "path), 'off' forces the scalar path; results are bitwise "
         "identical either way",
     )
 
@@ -200,9 +201,17 @@ def _json_safe(value: object) -> object:
 
 
 def _scheduler_entry(name: str) -> dict:
+    from ..disksim.sched import kernel_fallback_reason
+
     cls = get_scheduler(name)
     doc = (cls.__doc__ or "").strip().splitlines()
-    return {"name": name, "description": doc[0] if doc else ""}
+    return {
+        "name": name,
+        "description": doc[0] if doc else "",
+        # Whether replays under this policy are eligible for the
+        # event-batched scheduled kernel (all built-ins are).
+        "kernel_vectorizable": kernel_fallback_reason(cls()) is None,
+    }
 
 
 def _cmd_list(args: argparse.Namespace) -> int:

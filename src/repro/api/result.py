@@ -21,6 +21,15 @@ from typing import Any, Mapping, Sequence
 from ..core.efficiency import EfficiencyPoint
 from ..sim.engine import ReplayStats
 
+#: Detail keys that describe *how* a result was computed (which engine path
+#: ran, why a fast path was refused) rather than *what* was computed.  The
+#: replay kernels are bitwise-identical to the scalar loops, so these keys
+#: are the only ones allowed to differ between a ``--fast on`` and a
+#: ``--fast off`` run of the same scenario; :class:`~repro.api.store
+#: .ResultStore` strips them so persisted records stay byte-identical
+#: across engine paths (and across hosts with and without numpy).
+VOLATILE_DETAIL_KEYS = frozenset({"replay_path", "fast_reason"})
+
 
 @dataclass
 class RunResult:
@@ -292,4 +301,4 @@ class Comparison:
         return None
 
 
-__all__ = ["Comparison", "RunResult"]
+__all__ = ["Comparison", "RunResult", "VOLATILE_DETAIL_KEYS"]

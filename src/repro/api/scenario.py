@@ -138,12 +138,14 @@ def _run_replay(config: ScenarioConfig, fast: bool | None = None) -> RunResult:
     )
     if policy is not None:
         # Scheduling is part of the experiment's identity (unlike 'fast'),
-        # so the chosen policy -- and, for non-FCFS policies, the forced
-        # scalar replay path -- is reported in the result payload.
+        # so the chosen policy is reported in the result payload.
         result.details["scheduler"] = engine.scheduler_name
-        if engine.scheduler_name != "fcfs":
-            result.details["replay_path"] = engine.last_replay_path
-            result.details["fast_reason"] = engine.last_fast_reason
+    # Every replay record explains its own execution: which implementation
+    # served it and why ("ok" on fast paths, one stable reason string per
+    # refusal -- see TraceReplayEngine's vocabulary).  Execution detail,
+    # not experiment identity: never part of the scenario hash.
+    result.details["replay_path"] = engine.last_replay_path
+    result.details["fast_reason"] = engine.last_fast_reason
     return result
 
 

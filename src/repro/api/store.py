@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from .config import ScenarioConfig
+from .result import VOLATILE_DETAIL_KEYS
 
 #: Record layout version written by :meth:`ResultStore.put`.
 SCHEMA_VERSION = 1
@@ -70,12 +71,27 @@ class ResultStore:
         scenario: ScenarioConfig,
         result: Mapping[str, Any],
     ) -> Path:
-        """Persist one scenario's result atomically; returns the record path."""
+        """Persist one scenario's result atomically; returns the record path.
+
+        Execution-path metadata (:data:`~repro.api.result
+        .VOLATILE_DETAIL_KEYS` -- ``replay_path``/``fast_reason``) is
+        stripped from the persisted details: the fast paths are bitwise
+        identical to the scalar loops, so records stay byte-identical
+        whether a point ran through a kernel or the scalar fallback.
+        """
+        payload = dict(result)
+        details = payload.get("details")
+        if isinstance(details, dict) and VOLATILE_DETAIL_KEYS & details.keys():
+            payload["details"] = {
+                key: value
+                for key, value in details.items()
+                if key not in VOLATILE_DETAIL_KEYS
+            }
         record = {
             "schema": SCHEMA_VERSION,
             "hash": scenario_hash,
             "scenario": scenario.to_dict(),
-            "result": dict(result),
+            "result": payload,
         }
         path = self.path(scenario_hash)
         tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")

@@ -41,6 +41,21 @@ Schedulers are registered by name (:func:`available_schedulers`,
 :func:`get_scheduler`, :func:`make_scheduler`) so scenario configs, campaign
 axes and the CLI can select them declaratively.
 
+Every registered policy also implements the **kernel vectorization
+contract** used by the event-batched replay kernel
+(:func:`repro.sim.kernel.replay_kernel_sched`): ``kernel_select`` scores
+the whole pending queue against precomputed geometry columns (a
+:class:`KernelQueueView`) and returns the position the scalar ``_select``
+would have picked, bitwise-identically -- the kernel never re-implements
+policy semantics, it asks the policy to pick from columns.  Policies score
+small queues with plain Python scalars and switch to numpy array math
+above :data:`KERNEL_SMALL_QUEUE` pending requests; both variants perform
+the exact float operations of ``_select`` in the same order, so the choice
+of variant never changes a replay result.  Subclasses that override the
+scalar hooks without providing matching kernel hooks are detected by
+:func:`kernel_fallback_reason` and replayed through the exact scalar
+queue loop instead.
+
 Queue operations are deliberately O(pending) per dispatch (linear scans
 over a plain list): the policies stay obviously-correct and deterministic,
 and the queues of the modeled scenarios are shallow (closed replay bounds
@@ -52,6 +67,8 @@ before reaching for such a replay.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left
 from typing import TYPE_CHECKING
 
 from .drive import WRITE, DiskRequest
@@ -63,6 +80,138 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class SchedulerError(DiskSimError):
     """Unknown scheduling policy or malformed scheduler configuration."""
+
+
+#: Pending-queue size at which the kernel hooks switch from plain Python
+#: scalar scoring to numpy array math.  Below this, interpreter-level scans
+#: beat numpy's fixed per-call overhead; above it, vectorization wins.
+#: Both variants compute the exact same floats in the exact same order, so
+#: the threshold is a pure performance knob -- it can never change results.
+KERNEL_SMALL_QUEUE = 48
+
+
+class KernelQueueView:
+    """Columnar snapshot of a drive's pending queue for the replay kernel.
+
+    Built once per shard by :func:`repro.sim.kernel.replay_kernel_sched`;
+    each column holds one value per *trace request* (indexed by request
+    index, not queue position) as both a numpy array and a plain Python
+    list twin, so policy hooks can score small queues without touching
+    numpy at all.  :attr:`pending` is the live queue: request indices in
+    admission order (ascending, matching the scalar scheduler's arrival
+    ``seq``), mutated in place by the kernel's dispatch loop.  The head
+    position and actuator availability are refreshed by the kernel before
+    every dispatch decision.
+
+    In closed mode the issue-time *list* twins (``issue_l`` /
+    ``issue_cmd_l``) are refreshed on every admission, but their numpy
+    twins only when ``depth`` exceeds :data:`KERNEL_SMALL_QUEUE` -- below
+    that threshold the queue can never grow large enough for any built-in
+    hook (or :func:`kernel_oldest`) to take its numpy branch, so hooks
+    must treat the list twins as authoritative for small queues.
+
+    ``pos_l`` packs the per-request positioning constants
+    ``(cylinder, surface, settle, spt, sector_ms, skew, start_slot,
+    span)`` into one tuple per request so hot scoring loops (SPTF) pay a
+    single subscript + unpack instead of eight list indexings.
+    """
+
+    __slots__ = (
+        "np", "pending", "head_cylinder", "head_surface", "actuator_free",
+        "rotation_ms", "head_switch_ms", "zero_latency", "lbn_key_scale",
+        "issue", "issue_cmd", "lbn", "track", "cylinder", "surface",
+        "start_slot", "spt", "sector_ms", "skew", "settle", "span",
+        "seek_lut",
+        "issue_l", "issue_cmd_l", "lbn_l", "track_l", "cylinder_l",
+        "surface_l", "start_slot_l", "spt_l", "sector_ms_l", "skew_l",
+        "settle_l", "span_l", "seek_lut_l", "pos_l",
+        "_arr",
+    )
+
+    def __init__(self, **fields) -> None:
+        for name in self.__slots__:
+            setattr(self, name, fields.get(name))
+        self.pending = []
+        self._arr = None
+
+    def invalidate(self) -> None:
+        """Drop the cached pending array (call when ``pending`` changed)."""
+        self._arr = None
+
+    def pending_array(self):
+        """The pending queue as an int64 index array (cached per decision)."""
+        arr = self._arr
+        if arr is None:
+            np = self.np
+            arr = np.fromiter(self.pending, dtype=np.int64,
+                              count=len(self.pending))
+            self._arr = arr
+        return arr
+
+
+def kernel_oldest(view: KernelQueueView) -> int:
+    """Queue position of the longest-waiting pending request.
+
+    First occurrence of the minimum issue time; since :attr:`pending` is in
+    admission order this matches the scalar ``_oldest``'s
+    ``(issue_time, seq)`` tie-break exactly.
+    """
+    pending = view.pending
+    if len(pending) <= KERNEL_SMALL_QUEUE:
+        issue = view.issue_l
+        best = 0
+        best_t = issue[pending[0]]
+        for pos in range(1, len(pending)):
+            t = issue[pending[pos]]
+            if t < best_t:
+                best_t = t
+                best = pos
+        return best
+    np = view.np
+    arr = view.pending_array()
+    return int(np.argmin(view.issue[arr]))
+
+
+def _defining_class(cls: type, name: str) -> "type | None":
+    for klass in cls.__mro__:
+        if name in vars(klass):
+            return klass
+    return None
+
+
+def kernel_fallback_reason(scheduler: "Scheduler | type[Scheduler]") -> str | None:
+    """``None`` when the policy honours the kernel vectorization contract.
+
+    A policy is kernel-eligible when it keeps the base class's admission
+    and dispatch machinery (``push``/``pop``/``_oldest``) and pairs every
+    scalar hook override with a matching kernel hook: the class providing
+    ``kernel_select`` must sit at-or-before the one providing ``_select``
+    in the MRO (likewise ``kernel_removed``/``_on_removed`` and
+    ``kernel_reset``/``clear``), so a subclass that changes scalar
+    semantics without teaching the kernel falls back to the exact scalar
+    queue loop instead of silently diverging.  Returns the stable refusal
+    string ``"scheduler not kernel-vectorizable"`` otherwise.
+    """
+    cls = scheduler if isinstance(scheduler, type) else type(scheduler)
+    if (
+        cls.pop is not Scheduler.pop
+        or cls.push is not Scheduler.push
+        or cls._oldest is not Scheduler._oldest
+    ):
+        return "scheduler not kernel-vectorizable"
+    mro = cls.__mro__
+    for kernel_name, scalar_name in (
+        ("kernel_select", "_select"),
+        ("kernel_removed", "_on_removed"),
+        ("kernel_reset", "clear"),
+    ):
+        kernel_def = _defining_class(cls, kernel_name)
+        scalar_def = _defining_class(cls, scalar_name)
+        if kernel_def is None or scalar_def is None:
+            return "scheduler not kernel-vectorizable"
+        if mro.index(kernel_def) > mro.index(scalar_def):
+            return "scheduler not kernel-vectorizable"
+    return None
 
 
 class QueuedRequest:
@@ -205,6 +354,23 @@ class Scheduler:
     def _on_removed(self, entry: QueuedRequest) -> None:
         """Hook for policies that keep derived state (batches)."""
 
+    # ------------------------------------------------------------------ #
+    # Kernel vectorization contract (see repro.sim.kernel)
+    # ------------------------------------------------------------------ #
+    def kernel_select(self, view: KernelQueueView) -> int:
+        """Columnar mirror of :meth:`_select`: the queue *position* (index
+        into ``view.pending``) the scalar policy would pick, computed from
+        the view's precomputed columns with the exact same float
+        operations in the exact same order."""
+        raise NotImplementedError
+
+    def kernel_removed(self, view: KernelQueueView, idx: int) -> None:
+        """Columnar mirror of :meth:`_on_removed` (``idx`` is the removed
+        request's index, not its queue position)."""
+
+    def kernel_reset(self) -> None:
+        """Columnar mirror of :meth:`clear` for kernel-side derived state."""
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"{type(self).__name__}(pending={len(self.queue)}, "
@@ -220,6 +386,9 @@ class FCFSScheduler(Scheduler):
     def _select(self, now: float) -> QueuedRequest:
         return self._oldest()
 
+    def kernel_select(self, view: KernelQueueView) -> int:
+        return kernel_oldest(view)
+
 
 class SSTFScheduler(Scheduler):
     """Shortest seek time first: minimise cylinder distance from the head."""
@@ -229,6 +398,26 @@ class SSTFScheduler(Scheduler):
     def _select(self, now: float) -> QueuedRequest:
         head = self.drive.head_cylinder
         return min(self.queue, key=lambda e: (abs(e.cylinder - head), e.seq))
+
+    def kernel_select(self, view: KernelQueueView) -> int:
+        pending = view.pending
+        head = view.head_cylinder
+        if len(pending) <= KERNEL_SMALL_QUEUE:
+            cyl = view.cylinder_l
+            best = 0
+            d = cyl[pending[0]] - head
+            best_d = -d if d < 0 else d
+            for pos in range(1, len(pending)):
+                d = cyl[pending[pos]] - head
+                if d < 0:
+                    d = -d
+                if d < best_d:
+                    best_d = d
+                    best = pos
+            return best
+        np = view.np
+        arr = view.pending_array()
+        return int(np.argmin(np.abs(view.cylinder[arr] - head)))
 
 
 class SPTFScheduler(Scheduler):
@@ -283,6 +472,119 @@ class SPTFScheduler(Scheduler):
                 best, best_key = entry, key
         return best
 
+    def kernel_select(self, view: KernelQueueView) -> int:
+        pending = view.pending
+        head_cyl = view.head_cylinder
+        head_surf = view.head_surface
+        act_free = view.actuator_free
+        rotation = view.rotation_ms
+        hs_ms = view.head_switch_ms
+        zero_latency = view.zero_latency
+        if len(pending) <= KERNEL_SMALL_QUEUE:
+            # Scored in admission (= seq) order with strict less-than, so
+            # the first occurrence of the minimum key wins -- the scalar
+            # (key, seq) tie-break exactly.  Two exact shortcuts keep the
+            # loop skinny: every key is bounded below by its seek term, so
+            # a candidate whose seek alone exceeds the best key so far can
+            # be skipped before the rotation-phase math (it cannot win or
+            # even tie); and the settle/switch terms are skipped when both
+            # are 0.0 (adding +0.0 to a positive float is the identity, so
+            # the sums are bitwise unchanged).  Float operations and their
+            # order otherwise match _select exactly.
+            lut = view.seek_lut_l
+            cyl = view.cylinder_l
+            issue_cmd = view.issue_cmd_l
+            cols = view.pos_l
+            best = 0
+            best_key = math.inf
+            if zero_latency:
+                for pos, idx in enumerate(pending):
+                    distance = cyl[idx] - head_cyl
+                    if distance < 0:
+                        distance = -distance
+                    seek = lut[distance]
+                    if seek > best_key:
+                        continue
+                    c, sf, settle, spt, sector_ms, skew, start_slot, span = (
+                        cols[idx]
+                    )
+                    start = issue_cmd[idx]
+                    if act_free > start:
+                        start = act_free
+                    if settle == 0.0 and (distance != 0 or sf == head_surf):
+                        arrival = start + seek
+                        base = seek
+                    else:
+                        switch = 0.0
+                        if distance == 0 and sf != head_surf:
+                            switch = hs_ms
+                        arrival = start + seek + settle + switch
+                        base = seek + settle + switch
+                    head_slot = (
+                        ((arrival % rotation) / rotation) * spt - skew
+                    ) % spt
+                    rel = (head_slot - start_slot) % spt
+                    if rel < span:
+                        key = base
+                    else:
+                        key = base + (spt - rel) * sector_ms
+                    if key < best_key:
+                        best_key = key
+                        best = pos
+                return best
+            for pos, idx in enumerate(pending):
+                distance = cyl[idx] - head_cyl
+                if distance < 0:
+                    distance = -distance
+                seek = lut[distance]
+                if seek > best_key:
+                    continue
+                c, sf, settle, spt, sector_ms, skew, start_slot, span = (
+                    cols[idx]
+                )
+                start = issue_cmd[idx]
+                if act_free > start:
+                    start = act_free
+                if settle == 0.0 and (distance != 0 or sf == head_surf):
+                    arrival = start + seek
+                    base = seek
+                else:
+                    switch = 0.0
+                    if distance == 0 and sf != head_surf:
+                        switch = hs_ms
+                    arrival = start + seek + settle + switch
+                    base = seek + settle + switch
+                head_slot = (
+                    ((arrival % rotation) / rotation) * spt - skew
+                ) % spt
+                rel = (head_slot - start_slot) % spt
+                key = base + (spt - rel) * sector_ms
+                if key < best_key:
+                    best_key = key
+                    best = pos
+            return best
+        np = view.np
+        arr = view.pending_array()
+        distance = np.abs(view.cylinder[arr] - head_cyl)
+        seek = view.seek_lut[distance]
+        switch = np.where(
+            (distance == 0) & (view.surface[arr] != head_surf), hs_ms, 0.0
+        )
+        settle = view.settle[arr]
+        start = np.maximum(view.issue_cmd[arr], act_free)
+        arrival = start + seek + settle + switch
+        spt = view.spt[arr]
+        head_angle = ((arrival % rotation) / rotation) * spt
+        head_slot = (head_angle - view.skew[arr]) % spt
+        rel = (head_slot - view.start_slot[arr]) % spt
+        if zero_latency:
+            latency = np.where(
+                rel < view.span[arr], 0.0, (spt - rel) * view.sector_ms[arr]
+            )
+        else:
+            latency = (spt - rel) * view.sector_ms[arr]
+        return int(np.argmin(seek + settle + switch + latency))
+
 
 class CLOOKScheduler(Scheduler):
     """Circular LOOK: ascend in cylinder order, wrap to the lowest pending.
@@ -301,6 +603,48 @@ class CLOOKScheduler(Scheduler):
         ahead = [e for e in self.queue if e.cylinder >= head]
         pool = ahead if ahead else self.queue
         return min(pool, key=lambda e: (e.cylinder, e.request.lbn, e.seq))
+
+    def kernel_select(self, view: KernelQueueView) -> int:
+        pending = view.pending
+        head = view.head_cylinder
+        if len(pending) <= KERNEL_SMALL_QUEUE:
+            cyl = view.cylinder_l
+            lbn = view.lbn_l
+            best = -1
+            best_c = best_l = 0
+            for pos, idx in enumerate(pending):
+                c = cyl[idx]
+                if c >= head:
+                    lb = lbn[idx]
+                    if best < 0 or c < best_c or (c == best_c and lb < best_l):
+                        best, best_c, best_l = pos, c, lb
+            if best >= 0:
+                return best
+            idx = pending[0]
+            best, best_c, best_l = 0, cyl[idx], lbn[idx]
+            for pos in range(1, len(pending)):
+                idx = pending[pos]
+                c = cyl[idx]
+                lb = lbn[idx]
+                if c < best_c or (c == best_c and lb < best_l):
+                    best, best_c, best_l = pos, c, lb
+            return best
+        np = view.np
+        arr = view.pending_array()
+        cyl = view.cylinder[arr]
+        lbn = view.lbn[arr]
+        ahead = cyl >= head
+        if bool(ahead.any()):
+            pool = np.nonzero(ahead)[0]
+            cyl = cyl[pool]
+            lbn = lbn[pool]
+        else:
+            pool = None
+        # Exact (cylinder, lbn) lexicographic min: shard-local LBNs are
+        # strictly below lbn_key_scale, so the packed int64 key cannot
+        # collide, and argmin's first-occurrence rule is the seq tie-break.
+        pos = int(np.argmin(cyl * view.lbn_key_scale + lbn))
+        return pos if pool is None else int(pool[pos])
 
 
 class TraxtentBatchScheduler(Scheduler):
@@ -321,6 +665,7 @@ class TraxtentBatchScheduler(Scheduler):
     def __init__(self, starvation_ms: float | None = None) -> None:
         super().__init__(starvation_ms=starvation_ms)
         self._batch: list[QueuedRequest] = []
+        self._kbatch: list[int] = []
 
     def clear(self) -> None:
         super().clear()
@@ -338,6 +683,34 @@ class TraxtentBatchScheduler(Scheduler):
         # the current batch; keep the batch consistent with the queue.
         if entry in self._batch:
             self._batch.remove(entry)
+
+    def kernel_reset(self) -> None:
+        self._kbatch = []
+
+    def kernel_select(self, view: KernelQueueView) -> int:
+        batch = self._kbatch
+        if not batch:
+            pending = view.pending
+            anchor = pending[kernel_oldest(view)]
+            anchor_track = view.track_l[anchor]
+            if len(pending) <= KERNEL_SMALL_QUEUE:
+                track = view.track_l
+                mates = [idx for idx in pending if track[idx] == anchor_track]
+                # Stable sort over admission order == (lbn, seq) order.
+                mates.sort(key=view.lbn_l.__getitem__)
+            else:
+                np = view.np
+                arr = view.pending_array()
+                in_extent = arr[view.track[arr] == anchor_track]
+                order = np.argsort(view.lbn[in_extent], kind="stable")
+                mates = in_extent[order].tolist()
+            self._kbatch = batch = mates
+        # pending holds ascending request indices, so position by bisection.
+        return bisect_left(view.pending, batch[0])
+
+    def kernel_removed(self, view: KernelQueueView, idx: int) -> None:
+        if idx in self._kbatch:
+            self._kbatch.remove(idx)
 
 
 # --------------------------------------------------------------------------- #
@@ -396,6 +769,8 @@ def make_scheduler(
 __all__ = [
     "CLOOKScheduler",
     "FCFSScheduler",
+    "KERNEL_SMALL_QUEUE",
+    "KernelQueueView",
     "QueuedRequest",
     "SCHEDULERS",
     "SPTFScheduler",
@@ -405,5 +780,7 @@ __all__ = [
     "TraxtentBatchScheduler",
     "available_schedulers",
     "get_scheduler",
+    "kernel_fallback_reason",
+    "kernel_oldest",
     "make_scheduler",
 ]

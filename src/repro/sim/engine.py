@@ -123,20 +123,31 @@ class TraceReplayEngine:
     * ``True``  -- same as auto (the flag exists so configs can pin it).
     * ``False`` -- always use the scalar batched path.
 
-    After every :meth:`replay`, :attr:`last_replay_path` reports which
-    implementation ran (``"kernel"`` or ``"scalar"``) and
-    :attr:`last_fast_reason` carries the kernel's refusal reason (or
-    ``None`` when the kernel ran / was disabled).
+    After every replay, :attr:`last_replay_path` reports which
+    implementation ran (``"kernel"`` for the columnar FCFS open kernel,
+    ``"kernel_sched"`` for the event-batched scheduled kernel, or
+    ``"scalar"``) and :attr:`last_fast_reason` is normalized to a stable
+    vocabulary: ``"ok"`` whenever a fast path ran, ``"fast disabled"``
+    when ``fast=False`` pinned the scalar path, and otherwise exactly one
+    documented refusal string from :mod:`repro.sim.kernel` --
+    ``"numpy unavailable"``, ``"empty trace"``, ``"defective geometry"``,
+    ``"out-of-order bus"``, ``"warm firmware cache (reset=False)"``,
+    ``"unknown opcode"``, ``"invalid request"``,
+    ``"request exceeds fleet capacity"``,
+    ``"shard-boundary-crossing requests"``,
+    ``"firmware-cache-sensitive reuse"`` or
+    ``"scheduler not kernel-vectorizable"``.
 
     ``scheduler`` selects the drive-level dispatch policy (a name from
     :func:`repro.disksim.sched.available_schedulers`, a
     :class:`~repro.disksim.sched.Scheduler` instance used as a per-drive
     prototype, or ``None`` = FCFS).  Under FCFS the engine keeps its classic
     batched/kernel fast paths and is bitwise identical to the
-    pre-scheduler engine.  Any other policy makes dispatch order depend on
-    queue state at dispatch time, which is inherently serial: those replays
-    run an exact scalar queue loop (``last_replay_path == "scalar"``, with
-    :attr:`last_fast_reason` explaining why the kernel was skipped).
+    pre-scheduler engine.  Any other policy replays through the
+    event-batched scheduled kernel (:func:`repro.sim.kernel.replay_kernel_sched`,
+    ``last_replay_path == "kernel_sched"``) whenever it is applicable,
+    falling back to the exact scalar queue loop otherwise; results are
+    bitwise identical either way.
 
     ``queue_depth`` applies to closed replay only: each drive keeps up to
     that many requests outstanding (admitting the next trace request when
@@ -171,11 +182,42 @@ class TraceReplayEngine:
         self.last_replay_path: str | None = None
         self.last_fast_reason: str | None = None
 
-    def _scheduler_fast_reason(self) -> str:
-        return (
-            f"scheduler policy {self.scheduler_name!r} reorders requests at "
-            "dispatch time; only fcfs is kernel/batch eligible"
-        )
+    def _try_kernel_sched(
+        self,
+        trace: Trace,
+        mode: str,
+        think_ms: float,
+        reset: bool,
+        record_forced: bool,
+    ) -> ReplayStats | None:
+        """Attempt the event-batched scheduled kernel; ``None`` on refusal.
+
+        Sets :attr:`last_replay_path`/:attr:`last_fast_reason` for both
+        outcomes (``"kernel_sched"``/``"ok"`` on success, the refusal
+        reason otherwise); on refusal the caller runs the scalar loop.
+        """
+        if self.fast is None or self.fast:
+            from .kernel import replay_kernel_sched
+
+            stats, reason = replay_kernel_sched(
+                self.fleet,
+                trace,
+                self.scheduler,
+                mode=mode,
+                queue_depth=self.queue_depth,
+                think_ms=think_ms,
+                reset=reset,
+                record_forced=record_forced,
+            )
+            if stats is not None:
+                self.last_replay_path = "kernel_sched"
+                self.last_fast_reason = "ok"
+                return stats
+            self.last_fast_reason = reason
+        else:
+            self.last_fast_reason = "fast disabled"
+        self.last_replay_path = "scalar"
+        return None
 
     # ------------------------------------------------------------------ #
     # Open replay
@@ -192,8 +234,9 @@ class TraceReplayEngine:
         ``True``) and applicable, the whole trace is serviced with numpy
         array math instead; the returned statistics are bitwise identical.
 
-        With a non-FCFS scheduler the replay runs the exact scalar queue
-        loop instead (see :meth:`_replay_open_scheduled`).
+        With a non-FCFS scheduler the replay goes through the scheduled
+        queue path (see :meth:`_replay_open_scheduled`), which itself
+        prefers the event-batched scheduled kernel.
         """
         if self.scheduler_name != "fcfs":
             return self._replay_open_scheduled(trace, reset=reset)
@@ -203,11 +246,11 @@ class TraceReplayEngine:
             stats, reason = replay_kernel(self.fleet, trace, reset=reset)
             if stats is not None:
                 self.last_replay_path = "kernel"
-                self.last_fast_reason = None
+                self.last_fast_reason = "ok"
                 return stats
             self.last_fast_reason = reason
         else:
-            self.last_fast_reason = None
+            self.last_fast_reason = "fast disabled"
         self.last_replay_path = "scalar"
         fleet = self.fleet
         if reset:
@@ -309,9 +352,16 @@ class TraceReplayEngine:
         candidate and the policy picks one.  Under FCFS this dispatch order
         degenerates to arrival order (which is why FCFS replays keep the
         batched/kernel fast paths instead of this loop).
+
+        The event-batched scheduled kernel serves the replay whenever it
+        is applicable (bitwise identical); this scalar loop is the exact
+        reference it falls back to.
         """
-        self.last_replay_path = "scalar"
-        self.last_fast_reason = self._scheduler_fast_reason()
+        stats = self._try_kernel_sched(
+            trace, "open", 0.0, reset, record_forced=True
+        )
+        if stats is not None:
+            return stats
         fleet = self.fleet
         if reset:
             fleet.reset()
@@ -367,13 +417,16 @@ class TraceReplayEngine:
         every completion admits the next one (plus ``think_ms``).  The
         scheduler picks among the queued requests at every dispatch.
         Depth 1 under FCFS reproduces the classic onereq loop exactly.
+
+        The event-batched scheduled kernel serves the replay whenever it
+        is applicable (bitwise identical); this scalar loop is the exact
+        reference it falls back to.
         """
-        self.last_replay_path = "scalar"
-        self.last_fast_reason = (
-            self._scheduler_fast_reason()
-            if self.scheduler_name != "fcfs"
-            else None
+        stats = self._try_kernel_sched(
+            trace, "closed", think_ms, reset, record_forced=True
         )
+        if stats is not None:
+            return stats
         fleet = self.fleet
         if reset:
             fleet.reset()
@@ -431,15 +484,20 @@ class TraceReplayEngine:
         next-issue times drives the fleet-wide interleaving, so the merged
         completion sequence is produced in global time order.
 
-        Closed replay is always scalar-serviced; the columnar kernel only
-        covers open replay.  A non-FCFS scheduler or ``queue_depth > 1``
-        routes to the scheduled queue loop
-        (:meth:`_replay_closed_scheduled`) instead.
+        A non-FCFS scheduler or ``queue_depth > 1`` routes to the
+        scheduled queue loop (:meth:`_replay_closed_scheduled`).  The
+        classic onereq case itself is served by the event-batched
+        scheduled kernel whenever applicable -- FCFS at depth 1 is a
+        degenerate schedule, and the kernel reproduces this event-heap
+        loop bitwise (including its empty ``extras``).
         """
         if self.scheduler_name != "fcfs" or self.queue_depth > 1:
             return self._replay_closed_scheduled(trace, think_ms, reset)
-        self.last_replay_path = "scalar"
-        self.last_fast_reason = None
+        stats = self._try_kernel_sched(
+            trace, "closed", think_ms, reset, record_forced=False
+        )
+        if stats is not None:
+            return stats
         fleet = self.fleet
         if reset:
             fleet.reset()

@@ -40,6 +40,17 @@ Requests that span multiple tracks are serviced through the drive's exact
 scalar code with state synced both ways (exactly like ``submit_batch``
 does), so unaligned traces still replay through the kernel.
 
+:func:`replay_kernel_sched` extends the same discipline to **scheduled**
+replays (non-FCFS policies, closed queue depths > 1): admission and the
+dispatch-time policy decision stay in the serial loop, but candidate
+scoring over the pending queue is delegated to the scheduler's vectorized
+``kernel_select`` hook over precomputed columns
+(:class:`~repro.disksim.sched.KernelQueueView`), and each dispatched
+request is serviced by the same inlined single-track arithmetic.  One
+extra refusal applies: a scheduler subclass that overrides the scalar
+policy hooks without matching kernel hooks returns
+``"scheduler not kernel-vectorizable"``.
+
 On caching-enabled drives the kernel performs the same
 ``record_read``/``record_write`` cache bookkeeping as the scalar path
 (recording cannot change this replay's results -- the reuse gate
@@ -135,6 +146,17 @@ def seek_table(curve: "SeekCurve", n_cylinders: int):
             [seek_time(d) for d in range(n_cylinders)], dtype=np.float64
         )
         per_curve[n_cylinders] = table
+    return table
+
+
+def seek_table_list(curve: "SeekCurve", n_cylinders: int) -> list[float]:
+    """Python-list twin of :func:`seek_table` (cached) for scalar lookups."""
+    per_curve = _SEEK_TABLES.setdefault(curve, {})
+    key = ("list", n_cylinders)
+    table = per_curve.get(key)
+    if table is None:
+        table = seek_table(curve, n_cylinders).tolist()
+        per_curve[key] = table
     return table
 
 
@@ -528,6 +550,518 @@ def _service_shard(np, drive: "DiskDrive", lbns, counts, issue, is_read) -> _Sha
     return out
 
 
+def _service_shard_sched(
+    np,
+    drive: "DiskDrive",
+    scheduler,
+    lbns,
+    counts,
+    issue,
+    is_read,
+    mode: str,
+    depth: int,
+    think_ms: float,
+) -> "tuple[_ShardOutcome, int]":
+    """Event-batched scheduled replay of one shard-local stream.
+
+    The scalar queue loops in :class:`~repro.sim.engine.TraceReplayEngine`
+    interleave admission (requests entering the pending queue) with
+    dispatch (the policy picking one and the drive servicing it).  Here
+    every per-request quantity that does not depend on dispatch order is
+    precomputed as a numpy column; the loop below keeps only the
+    irreducible serial recurrence -- actuator/bus availability, head
+    position, rotation phase and queue admission -- and asks the
+    scheduler's ``kernel_select`` hook to score the whole pending queue
+    against the columns (a :class:`~repro.disksim.sched.KernelQueueView`).
+    Float arithmetic matches the scalar ``submit`` path operation for
+    operation, and selection mirrors ``Scheduler.pop`` (starvation bound,
+    forced-dispatch accounting, seq tie-breaking), so the replay is
+    bitwise identical to the scalar queue loop.
+
+    Returns the shard outcome plus the scheduler's forced-dispatch count.
+    """
+    from ..disksim.sched import (
+        KERNEL_SMALL_QUEUE,
+        KernelQueueView,
+        Scheduler,
+        kernel_oldest,
+    )
+
+    out = _ShardOutcome()
+    n = int(lbns.shape[0])
+    out.n = n
+    if n == 0:
+        return out, 0
+
+    geometry = drive.geometry
+    specs = drive.specs
+    bus = drive.bus
+    (
+        tr_first, tr_count, tr_spt, tr_skew, tr_sector_ms, tr_stream_ms,
+    ) = geometry_tables(geometry)
+    seek_lut = seek_table(drive.seek_curve, geometry.cylinders)
+    seek_lut_l = seek_table_list(drive.seek_curve, geometry.cylinders)
+    surfaces = geometry.surfaces
+
+    # ---- vectorized translation (mirrors translate_batch) -------------- #
+    track = np.searchsorted(tr_first, lbns, side="right") - 1
+    empty = tr_count[track] == 0
+    while empty.any():
+        track = np.where(empty, track - 1, track)
+        empty = tr_count[track] == 0
+    first = tr_first[track]
+    last = lbns + counts - 1
+    etrack = np.searchsorted(tr_first, last, side="right") - 1
+    empty = tr_count[etrack] == 0
+    while empty.any():
+        etrack = np.where(empty, etrack - 1, etrack)
+        empty = tr_count[etrack] == 0
+    multi = lbns + counts > first + tr_count[track]
+
+    cyl = track // surfaces
+    surf = track - cyl * surfaces
+    ecyl = etrack // surfaces
+    esurf = etrack - ecyl * surfaces
+
+    cmd_ms = bus.command_overhead_ms
+    bus_sector = bus.sector_ms()
+    write_settle = specs.write_settle_ms
+    rotation = specs.rotation_ms
+    zero_latency = drive.zero_latency
+    head_switch_cost = specs.head_switch_ms
+
+    spt_col = tr_spt[track]
+    skew_col = tr_skew[track]
+    sector_ms_col = tr_sector_ms[track]
+    start_slot_col = lbns - first
+    transfer_col = counts * sector_ms_col
+    total_bus_col = counts * bus_sector
+    settle_col = np.where(is_read, 0.0, write_settle)
+    span_col = np.minimum(counts, spt_col)
+    if mode == "open":
+        issue_col = issue
+        issue_cmd_col = issue + cmd_ms
+    else:
+        # Closed mode: admission times are decided by the loop below.
+        issue_col = np.zeros(n, dtype=np.float64)
+        issue_cmd_col = np.zeros(n, dtype=np.float64)
+
+    # ---- python-scalar views for the serial loop ----------------------- #
+    issue_l = issue_col.tolist()
+    issue_cmd_l = issue_cmd_col.tolist()
+    count_l = counts.tolist()
+    lbn_l = lbns.tolist()
+    is_read_l = is_read.tolist()
+    multi_l = multi.tolist()
+    cyl_l = cyl.tolist()
+    surf_l = surf.tolist()
+    settle_l = settle_col.tolist()
+    spt_l = spt_col.tolist()
+    skew_l = skew_col.tolist()
+    sector_ms_l = sector_ms_col.tolist()
+    start_slot_l = start_slot_col.tolist()
+    span_l = span_col.tolist()
+    transfer_l = transfer_col.tolist()
+    total_bus_l = total_bus_col.tolist()
+    stream_ms_l = tr_stream_ms[track].tolist()
+    ecyl_l = ecyl.tolist()
+    esurf_l = esurf.tolist()
+
+    view = KernelQueueView(
+        np=np,
+        rotation_ms=rotation,
+        head_switch_ms=head_switch_cost,
+        zero_latency=zero_latency,
+        lbn_key_scale=geometry.total_lbns,
+        issue=issue_col,
+        issue_cmd=issue_cmd_col,
+        lbn=lbns,
+        track=track,
+        cylinder=cyl,
+        surface=surf,
+        start_slot=start_slot_col,
+        spt=spt_col,
+        sector_ms=sector_ms_col,
+        skew=skew_col,
+        settle=settle_col,
+        span=span_col,
+        seek_lut=seek_lut,
+        issue_l=issue_l,
+        issue_cmd_l=issue_cmd_l,
+        lbn_l=lbn_l,
+        track_l=track.tolist(),
+        cylinder_l=cyl_l,
+        surface_l=surf_l,
+        start_slot_l=start_slot_l,
+        spt_l=spt_l,
+        sector_ms_l=sector_ms_l,
+        skew_l=skew_l,
+        settle_l=settle_l,
+        span_l=span_l,
+        seek_lut_l=seek_lut_l,
+        pos_l=list(
+            zip(
+                cyl_l, surf_l, settle_l, spt_l, sector_ms_l, skew_l,
+                start_slot_l, span_l,
+            )
+        ),
+    )
+    pending = view.pending
+
+    # Same cache bookkeeping contract as _service_shard: the reuse gate
+    # guarantees no probe would hit, so recording cannot change results.
+    cache = drive.cache
+    maintain_cache = cache.enable_caching
+    record_read = cache.record_read
+    record_write = cache.record_write
+
+    issue_o: list[float] = []
+    comp_o: list[float] = []
+    seek_o: list[float] = []
+    settle_o: list[float] = []
+    hs_o: list[float] = []
+    transfer_o: list[float] = []
+    bus_o: list[float] = []
+    latency_sum = 0.0
+    overlap_sum = 0.0
+    busy_sum = 0.0
+    fallback_busy = 0.0
+    act_free = drive.actuator_free
+    b_free = drive.bus_free
+    head_cyl = drive.head_cylinder
+    head_surf = drive.head_surface
+    forced = 0
+
+    any_multi = bool(multi.any())
+    service_read = drive._service_read
+    service_write = drive._service_write
+    account = drive._account
+    starvation = scheduler.starvation_ms
+    ksel = scheduler.kernel_select
+    # The base-class removal hook is a no-op; skip the call entirely rather
+    # than paying a Python call per dispatch for nothing.
+    krem = (
+        None
+        if type(scheduler).kernel_removed is Scheduler.kernel_removed
+        else scheduler.kernel_removed
+    )
+
+    # ---- the serial recurrence: admission + dispatch ------------------- #
+    # One monolithic loop with every piece of live state in plain locals.
+    # The pop mirror (Scheduler.pop: starvation bound first, then the
+    # policy, with forced-dispatch accounting and removal hooks) and the
+    # single-track service arithmetic (the exact loop body of
+    # _service_shard, with the seek/head-switch terms computed at dispatch
+    # time because dispatch order is policy-driven) are inlined: closure
+    # cells and helper-call overhead are measurable at kernel speeds.
+    open_mode = mode == "open"
+    now = 0.0
+    i = 0
+    if not open_mode:
+        issue_np = issue_col
+        issue_cmd_np = issue_cmd_col
+        # The built-in hooks and kernel_oldest read the numpy issue twins
+        # only once the queue outgrows KERNEL_SMALL_QUEUE, which a closed
+        # queue bounded by ``depth`` never does below that threshold -- the
+        # list twins are authoritative there, so the (comparatively costly)
+        # per-admission numpy scalar stores are skipped.
+        sync_np = depth > KERNEL_SMALL_QUEUE
+        while i < n and len(pending) < depth:
+            issue_cmd_v = now + cmd_ms
+            issue_l[i] = now
+            issue_cmd_l[i] = issue_cmd_v
+            if sync_np:
+                issue_np[i] = now
+                issue_cmd_np[i] = issue_cmd_v
+            pending.append(i)
+            i += 1
+
+    while True:
+        if open_mode:
+            if pending:
+                # Busy drive: decide when the mechanism frees up.
+                decision = act_free
+            else:
+                if i >= n:
+                    break
+                # Idle drive: the next dispatch decision happens when the
+                # next request arrives.
+                decision = issue_l[i]
+                if act_free > decision:
+                    decision = act_free
+            while i < n and issue_l[i] <= decision:
+                pending.append(i)
+                i += 1
+        else:
+            if not pending:
+                break
+            decision = act_free
+            if now > decision:
+                decision = now
+
+        # ---- pop: mirror of Scheduler.pop (starvation bound first,
+        # then the policy, forced-dispatch accounting, removal hooks) ---- #
+        view.head_cylinder = head_cyl
+        view.head_surface = head_surf
+        view.actuator_free = act_free
+        view._arr = None
+        if starvation is not None:
+            opos = kernel_oldest(view)
+            oidx = pending[opos]
+            if decision - issue_l[oidx] > starvation:
+                if pending[ksel(view)] != oidx:
+                    forced += 1
+                del pending[opos]
+                idx = oidx
+            else:
+                spos = ksel(view)
+                idx = pending[spos]
+                del pending[spos]
+        else:
+            spos = ksel(view)
+            idx = pending[spos]
+            del pending[spos]
+        if krem is not None:
+            krem(view, idx)
+
+        # ---- service at the current head/bus state --------------------- #
+        t_issue = issue_l[idx]
+        mech_start = issue_cmd_l[idx]
+        if act_free > mech_start:
+            mech_start = act_free
+
+        if any_multi and multi_l[idx]:
+            # Multi-track request: exact scalar fallback, state synced
+            # both ways (same contract as _service_shard's fallback).
+            drive.head_cylinder = head_cyl
+            drive.head_surface = head_surf
+            drive.actuator_free = act_free
+            drive.bus_free = b_free
+            count = count_l[idx]
+            if is_read_l[idx]:
+                done = service_read(
+                    DiskRequest(READ, lbn_l[idx], count), t_issue, mech_start
+                )
+            else:
+                done = service_write(
+                    DiskRequest(WRITE, lbn_l[idx], count), t_issue, mech_start
+                )
+            account(done)
+            act_free = drive.actuator_free
+            b_free = drive.bus_free
+            head_cyl = ecyl_l[idx]
+            head_surf = esurf_l[idx]
+            seek_o.append(done.seek_ms)
+            settle_o.append(done.settle_ms)
+            hs_o.append(done.head_switch_ms)
+            transfer_o.append(done.media_transfer_ms)
+            bus_o.append(done.bus_ms)
+            latency_sum += done.rotational_latency_ms
+            overlap_sum += done.bus_overlap_ms
+            busy = done.media_busy_ms
+            busy_sum += busy
+            fallback_busy += busy
+            issue_o.append(t_issue)
+            comp_o.append(done.completion)
+            completion = done.completion
+        else:
+            # ------------- inlined single-track service ------------------ #
+            count = count_l[idx]
+            distance = cyl_l[idx] - head_cyl
+            if distance < 0:
+                distance = -distance
+            seek_ms = seek_lut_l[distance]
+            hs_ms = 0.0
+            if distance == 0 and surf_l[idx] != head_surf:
+                hs_ms = head_switch_cost
+            spt = spt_l[idx]
+            sector_ms = sector_ms_l[idx]
+            transfer = transfer_l[idx]
+            total_bus = total_bus_l[idx]
+
+            if is_read_l[idx]:
+                t = mech_start + seek_ms + hs_ms
+            else:
+                start_w = issue_cmd_l[idx]
+                if b_free > start_w:
+                    start_w = b_free
+                first_ready = start_w + bus_sector
+                bus_done = start_w + total_bus
+                t = mech_start + seek_ms + write_settle + hs_ms
+                if first_ready > t:
+                    t = first_ready
+
+            start_slot = start_slot_l[idx]
+            head_angle = ((t % rotation) / rotation) * spt
+            head_slot = (head_angle - skew_l[idx]) % spt
+            rel = (head_slot - start_slot) % spt
+
+            two_runs = False
+            if rel >= count or not zero_latency:
+                latency = (spt - rel) * sector_ms
+                media_ms = latency + transfer
+                run_cnt0 = count
+                run_b0 = latency
+                run_e0 = latency + transfer
+            else:
+                split = int(rel) + 1
+                if split > count:
+                    split = count
+                tail = count - split
+                media_ms = spt * sector_ms
+                latency = media_ms - transfer
+                wrap_begin = media_ms - split * sector_ms
+                if tail > 0:
+                    two_runs = True
+                    tb = (split - rel) * sector_ms if split > rel else 0.0
+                    if tb < 0.0:
+                        tb = 0.0
+                    tail_end = tb + tail * sector_ms
+                else:
+                    run_cnt0 = split
+                    run_b0 = wrap_begin
+                    run_e0 = media_ms
+
+            media_end = t + media_ms
+
+            if is_read_l[idx]:
+                floor = issue_cmd_l[idx]
+                if b_free > floor:
+                    floor = b_free
+                if two_runs:
+                    a_begin = t + tb
+                    a_end = t + tail_end
+                    b_begin = t + wrap_begin
+                    b_end = t + media_ms
+                    bus_media_end = b_end if b_end > a_end else a_end
+                    if a_begin < b_begin:
+                        start_b = floor if floor > bus_media_end else bus_media_end
+                        bus_completion = start_b + total_bus
+                        overlap = 0.0
+                    else:
+                        bus_completion = floor + total_bus
+                        alt = bus_media_end + bus_sector
+                        if alt > bus_completion:
+                            bus_completion = alt
+                        per_b = (b_end - b_begin) / split
+                        avail_b = b_begin + split * per_b
+                        if avail_b < 0.0:
+                            avail_b = 0.0
+                        cand = avail_b if avail_b > floor else floor
+                        cand = cand + (count - split) * bus_sector
+                        if cand > bus_completion:
+                            bus_completion = cand
+                        per_a = (a_end - a_begin) / tail
+                        avail_a = a_begin + tail * per_a
+                        avail = avail_b if avail_b > avail_a else avail_a
+                        if avail < 0.0:
+                            avail = 0.0
+                        cand = avail if avail > floor else floor
+                        if cand > bus_completion:
+                            bus_completion = cand
+                        overlap = total_bus - (bus_completion - bus_media_end)
+                        if overlap < 0.0:
+                            overlap = 0.0
+                        elif overlap > total_bus:
+                            overlap = total_bus
+                else:
+                    b_begin = t + run_b0
+                    b_end = t + run_e0
+                    bus_media_end = b_end
+                    bus_completion = floor + total_bus
+                    alt = bus_media_end + bus_sector
+                    if alt > bus_completion:
+                        bus_completion = alt
+                    per = (b_end - b_begin) / run_cnt0
+                    avail = b_begin + run_cnt0 * per
+                    if avail < 0.0:
+                        avail = 0.0
+                    cand = avail if avail > floor else floor
+                    if cand > bus_completion:
+                        bus_completion = cand
+                    overlap = total_bus - (bus_completion - bus_media_end)
+                    if overlap < 0.0:
+                        overlap = 0.0
+                    elif overlap > total_bus:
+                        overlap = total_bus
+
+                completion = bus_completion if bus_completion > media_end else media_end
+                act_free = media_end
+                if completion > b_free:
+                    b_free = completion
+                if maintain_cache:
+                    record_read(lbn_l[idx], count, media_end, stream_ms_l[idx])
+            else:
+                completion = media_end
+                mn = bus_done if bus_done < media_end else media_end
+                overlap = mn - (first_ready - bus_sector)
+                if overlap < 0.0:
+                    overlap = 0.0
+                if overlap > total_bus:
+                    overlap = total_bus
+                b_free = bus_done
+                act_free = media_end
+                if maintain_cache:
+                    record_write(lbn_l[idx], count)
+
+            busy = media_end - mech_start
+            if busy > 0.0:
+                busy_sum += busy
+            latency_sum += latency
+            overlap_sum += overlap
+            head_cyl = cyl_l[idx]
+            head_surf = surf_l[idx]
+            issue_o.append(t_issue)
+            comp_o.append(completion)
+            seek_o.append(seek_ms)
+            settle_o.append(settle_l[idx])
+            hs_o.append(hs_ms)
+            transfer_o.append(transfer)
+            bus_o.append(total_bus)
+
+        # ---- closed-loop think time + next admission ------------------- #
+        if not open_mode:
+            now = completion + think_ms
+            if i < n:
+                issue_cmd_v = now + cmd_ms
+                issue_l[i] = now
+                issue_cmd_l[i] = issue_cmd_v
+                if sync_np:
+                    issue_np[i] = now
+                    issue_cmd_np[i] = issue_cmd_v
+                pending.append(i)
+                i += 1
+
+    # ---- commit drive state and aggregate counters --------------------- #
+    drive.actuator_free = act_free
+    drive.bus_free = b_free
+    drive.head_cylinder = head_cyl
+    drive.head_surface = head_surf
+
+    inline = ~multi
+    inline_reads = inline & is_read
+    inline_writes = inline & ~is_read
+    stats = drive.stats
+    stats.requests += int(np.count_nonzero(inline))
+    stats.reads += int(np.count_nonzero(inline_reads))
+    stats.writes += int(np.count_nonzero(inline_writes))
+    stats.sectors_read += int(counts[inline_reads].sum())
+    stats.sectors_written += int(counts[inline_writes].sum())
+    stats.busy_ms += busy_sum - fallback_busy
+
+    out.issue = issue_o
+    out.completions = comp_o
+    out.seek = seek_o
+    out.settle = settle_o
+    out.head_switch = hs_o
+    out.transfer = transfer_o
+    out.bus = bus_o
+    out.latency_sum = latency_sum
+    out.overlap_sum = overlap_sum
+    out.busy_sum = busy_sum
+    return out, forced
+
+
 # --------------------------------------------------------------------------- #
 # Whole-trace replay
 # --------------------------------------------------------------------------- #
@@ -615,8 +1149,131 @@ def replay_kernel(
     return _aggregate_kernel(np, fleet, trace, outcomes, before, split_before), None
 
 
+def replay_kernel_sched(
+    fleet: "LbnRangeShard",
+    trace: "Trace",
+    scheduler,
+    mode: str = "open",
+    queue_depth: int = 1,
+    think_ms: float = 0.0,
+    reset: bool = True,
+    record_forced: bool = True,
+) -> "tuple[ReplayStats | None, str | None]":
+    """Attempt an event-batched scheduled replay of ``trace``.
+
+    The columnar counterpart of the engine's scalar queue loops
+    (``_replay_open_scheduled`` / ``_replay_closed_scheduled``): requests
+    are admitted to a pending queue (at trace timestamps in ``mode="open"``,
+    keeping up to ``queue_depth`` outstanding in ``mode="closed"``) and the
+    ``scheduler``'s vectorized ``kernel_select`` hook picks each dispatch
+    from precomputed geometry/score columns.  Returns ``(stats, None)`` on
+    success or ``(None, reason)`` when the kernel is not applicable, with
+    the same refusal vocabulary as :func:`replay_kernel` plus
+    ``"scheduler not kernel-vectorizable"`` for policies that override the
+    scalar hooks without matching kernel hooks.
+
+    ``record_forced`` controls whether ``extras["forced_dispatches"]`` is
+    recorded on the result; the classic closed FCFS depth-1 path leaves
+    extras empty, so its caller passes ``False`` to stay byte-identical.
+    """
+    np = _numpy()
+    if np is None:
+        return None, "numpy unavailable"
+    if len(trace) == 0:
+        return None, "empty trace"
+    from ..disksim.sched import kernel_fallback_reason
+
+    sched_reason = kernel_fallback_reason(scheduler)
+    if sched_reason is not None:
+        return None, sched_reason
+    for drive in fleet.drives:
+        if drive.geometry.has_defects:
+            return None, "defective geometry"
+        if not drive.bus.in_order:
+            return None, "out-of-order bus"
+    if not reset:
+        for drive in fleet.drives:
+            if drive.cache.enable_caching and not drive.cache.is_pristine:
+                return None, "warm firmware cache (reset=False)"
+
+    if mode == "open":
+        ordered = trace if trace.is_time_ordered() else trace.sorted_by_issue()
+    else:
+        # Closed replay ignores timestamps and admits in raw trace order.
+        ordered = trace
+    lbns = np.asarray(ordered.lbns, dtype=np.int64)
+    counts = np.asarray(ordered.counts, dtype=np.int64)
+    issue = np.asarray(ordered.issue_ms, dtype=np.float64)
+    n = int(lbns.shape[0])
+
+    ops = ordered.ops
+    op_codes = np.fromiter(
+        (0 if op == READ else (1 if op == WRITE else 2) for op in ops),
+        dtype=np.int8,
+        count=n,
+    )
+    if (op_codes == 2).any():
+        return None, "unknown opcode"
+    is_read = op_codes == 0
+    if counts.min() <= 0 or lbns.min() < 0:
+        return None, "invalid request"
+    if int((lbns + counts).max()) > fleet.total_lbns:
+        return None, "request exceeds fleet capacity"
+
+    n_shards = len(fleet.drives)
+    if n_shards == 1:
+        shard_cols = [(lbns, counts, issue, is_read)]
+    else:
+        starts = np.asarray(
+            [fleet.shard_range(s)[0] for s in range(n_shards)], dtype=np.int64
+        )
+        ends = np.asarray(
+            [fleet.shard_range(s)[1] for s in range(n_shards)], dtype=np.int64
+        )
+        shard = np.searchsorted(starts, lbns, side="right") - 1
+        if bool((lbns + counts > ends[shard]).any()):
+            return None, "shard-boundary-crossing requests"
+        local = lbns - starts[shard]
+        shard_cols = []
+        for s in range(n_shards):
+            mask = shard == s
+            shard_cols.append(
+                (local[mask], counts[mask], issue[mask], is_read[mask])
+            )
+
+    for (s_lbns, s_counts, s_issue, s_read), drive in zip(shard_cols, fleet.drives):
+        if _cache_sensitive(np, drive.cache, s_lbns, s_counts, s_read):
+            return None, "firmware-cache-sensitive reuse"
+
+    # ---- committed: mirror the scalar queue loops' bookkeeping --------- #
+    if reset:
+        fleet.reset()
+    before = fleet.combined_stats()
+    split_before = fleet.split_requests
+    fleet.routed_requests += n
+
+    outcomes: list[_ShardOutcome] = []
+    forced = 0
+    for (s_lbns, s_counts, s_issue, s_read), drive in zip(shard_cols, fleet.drives):
+        shard_sched = scheduler.clone()
+        shard_sched.kernel_reset()
+        outcome, shard_forced = _service_shard_sched(
+            np, drive, shard_sched, s_lbns, s_counts, s_issue, s_read,
+            mode, queue_depth, think_ms,
+        )
+        outcomes.append(outcome)
+        forced += shard_forced
+
+    stats = _aggregate_kernel(
+        np, fleet, trace, outcomes, before, split_before, mode=mode
+    )
+    if record_forced:
+        stats.extras["forced_dispatches"] = float(forced)
+    return stats, None
+
+
 def _aggregate_kernel(
-    np, fleet, trace, outcomes, before, split_before
+    np, fleet, trace, outcomes, before, split_before, mode: str = "open"
 ) -> "ReplayStats":
     """Mirror of :meth:`TraceReplayEngine._aggregate` over shard outcomes.
 
@@ -696,7 +1353,7 @@ def _aggregate_kernel(
         breakdown=breakdown,
         per_drive=per_drive,
         peak_outstanding=peak,
-        mode="open",
+        mode=mode,
     )
 
 
@@ -704,5 +1361,7 @@ __all__ = [
     "clear_kernel_tables",
     "geometry_tables",
     "replay_kernel",
+    "replay_kernel_sched",
     "seek_table",
+    "seek_table_list",
 ]

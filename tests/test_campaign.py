@@ -232,7 +232,12 @@ class TestCampaignConfig:
         base = ScenarioConfig(
             name="sched-base",
             kind="replay",
-            drive=SMALL_DRIVE,
+            # Caching off so every policy is eligible for the scheduled
+            # kernel (random synthetic LBNs trip the firmware-cache reuse
+            # refusal otherwise).
+            drive=DriveConfig(
+                cylinders_per_zone=10, num_zones=2, enable_caching=False
+            ),
             workload=WorkloadConfig(
                 name="synthetic",
                 params={"n_requests": 40},
@@ -256,9 +261,17 @@ class TestCampaignConfig:
             run.overrides["options.scheduler"]: run.payload for run in result
         }
         assert by_policy["fcfs"] != by_policy["sstf"]
-        assert by_policy["sstf"]["details"]["replay_path"] == "scalar"
-        assert by_policy["sptf"]["details"]["replay_path"] == "scalar"
-        assert "replay_path" not in by_policy["fcfs"].get("details", {})
+        assert by_policy["sstf"]["details"]["replay_path"] == "kernel_sched"
+        assert by_policy["sptf"]["details"]["replay_path"] == "kernel_sched"
+        assert by_policy["sstf"]["details"]["fast_reason"] == "ok"
+        assert by_policy["fcfs"]["details"]["replay_path"] in (
+            "kernel", "kernel_sched"
+        )
+        # Execution-path metadata is volatile: it never reaches the store.
+        for point in campaign.expand():
+            record = json.loads(store.path(point.hash).read_text())
+            assert "replay_path" not in record["result"]["details"]
+            assert "fast_reason" not in record["result"]["details"]
 
     def test_extending_a_sweep_keeps_existing_hashes(self):
         """Adding a grid value must not shift prior points' store keys."""

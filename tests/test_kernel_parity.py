@@ -300,17 +300,20 @@ def test_fast_false_pins_scalar_path():
     engine = TraceReplayEngine(caching_drive(), fast=False)
     engine.replay(trace)
     assert engine.last_replay_path == "scalar"
-    assert engine.last_fast_reason is None
+    assert engine.last_fast_reason == "fast disabled"
 
 
-def test_closed_replay_reports_scalar_path():
+def test_closed_replay_reports_kernel_sched_path():
+    """Classic closed FCFS depth-1 replay is a degenerate schedule the
+    event-batched kernel reproduces bitwise, so it reports kernel_sched."""
     trace = spaced_aligned_trace(caching_drive())
     engine = TraceReplayEngine(caching_drive(), fast=True)
     engine.replay(trace)
     assert engine.last_replay_path == "kernel"
+    assert engine.last_fast_reason == "ok"
     engine.replay_closed(trace)
-    assert engine.last_replay_path == "scalar"
-    assert engine.last_fast_reason is None
+    assert engine.last_replay_path == "kernel_sched"
+    assert engine.last_fast_reason == "ok"
 
 
 def test_out_of_order_bus_refuses_fast_path():

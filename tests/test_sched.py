@@ -326,14 +326,18 @@ class TestReplayInvariants:
         assert stats.issued_requests >= len(trace)
         assert stats.issued_requests == len(trace) + stats.split_requests
 
-    def test_non_fcfs_forces_scalar_path(self, small_specs):
+    def test_non_fcfs_takes_kernel_sched_path(self, small_specs):
         pytest.importorskip("numpy")
-        drive = DiskDrive(small_specs)
+        from repro.disksim import FirmwareCache
+
+        # Caching off: random LBN reuse would otherwise (correctly) refuse
+        # the kernel as firmware-cache-sensitive.
+        drive = DiskDrive(small_specs, cache=FirmwareCache(enable_caching=False))
         trace = random_trace(drive, n=80)
         engine = TraceReplayEngine(drive, scheduler="clook", fast=True)
         engine.replay(trace)
-        assert engine.last_replay_path == "scalar"
-        assert "clook" in engine.last_fast_reason
+        assert engine.last_replay_path == "kernel_sched"
+        assert engine.last_fast_reason == "ok"
 
     def test_sptf_beats_fcfs_mean_service_time(self, small_specs):
         trace = random_trace(DiskDrive(small_specs), n=250, seed=21)
@@ -370,9 +374,15 @@ class TestReplayInvariants:
 # --------------------------------------------------------------------------- #
 
 def _scenario(policy=None, **extra):
+    # Caching off keeps every policy eligible for the scheduled kernel.
     scenario = (
         Scenario("sched-facade")
-        .drive("Quantum Atlas 10K II", cylinders_per_zone=12, num_zones=3)
+        .drive(
+            "Quantum Atlas 10K II",
+            cylinders_per_zone=12,
+            num_zones=3,
+            enable_caching=False,
+        )
         .workload("synthetic", n_requests=120, interarrival_ms=0.8)
         .traxtent(False)
         .seed(17)
@@ -387,23 +397,37 @@ class TestFacadeWiring:
         plain = run_scenario(_scenario().config)
         fcfs = run_scenario(_scenario("fcfs").config)
         assert fcfs.replay.to_dict() == plain.replay.to_dict()
-        assert fcfs.details == {"scheduler": "fcfs"}
+        assert fcfs.details["scheduler"] == "fcfs"
+        assert set(fcfs.details) == {"scheduler", "replay_path", "fast_reason"}
 
     def test_fcfs_closed_option_is_bitwise_identical_to_plain(self):
         plain = run_scenario(_scenario().closed().config)
         fcfs = run_scenario(_scenario("fcfs").closed().config)
         assert fcfs.replay.to_dict() == plain.replay.to_dict()
 
-    def test_non_fcfs_reports_scalar_path(self):
+    def test_non_fcfs_reports_kernel_sched_path(self):
         result = run_scenario(_scenario("sptf").config)
         assert result.details["scheduler"] == "sptf"
-        assert result.details["replay_path"] == "scalar"
-        assert "sptf" in result.details["fast_reason"]
+        assert result.details["replay_path"] == "kernel_sched"
+        assert result.details["fast_reason"] == "ok"
 
     def test_fast_flag_does_not_change_scheduled_results(self):
+        from repro.api.result import VOLATILE_DETAIL_KEYS
+
         on = run_scenario(_scenario("clook").config, fast=True)
         off = run_scenario(_scenario("clook").config, fast=False)
-        assert on.to_dict() == off.to_dict()
+        on_d, off_d = on.to_dict(), off.to_dict()
+        # Only the execution-path metadata may differ between the two runs.
+        assert on_d["details"]["replay_path"] == "kernel_sched"
+        assert off_d["details"]["replay_path"] == "scalar"
+        assert off_d["details"]["fast_reason"] == "fast disabled"
+        for payload in (on_d, off_d):
+            payload["details"] = {
+                key: value
+                for key, value in payload["details"].items()
+                if key not in VOLATILE_DETAIL_KEYS
+            }
+        assert on_d == off_d
 
     def test_unknown_policy_fails_fast_in_builder(self):
         with pytest.raises(SchedulerError, match="unknown scheduler"):
