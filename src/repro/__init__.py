@@ -67,7 +67,7 @@ from .disksim import (
 )
 from .sim import LbnRangeShard, ReplayStats, Trace, TraceRecordingDrive, TraceReplayEngine
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Campaign",

@@ -53,6 +53,7 @@ from .factory import (
     clear_drive_build_cache,
 )
 from .registry import (
+    RawFileConfig,
     RawTraceConfig,
     SequentialConfig,
     UnknownWorkloadError,
@@ -83,6 +84,7 @@ __all__ = [
     "DriveConfig",
     "FleetConfig",
     "ProcessExecutor",
+    "RawFileConfig",
     "RawTraceConfig",
     "ResultStore",
     "RunResult",

@@ -214,7 +214,22 @@ def _scheduler_entry(name: str) -> dict:
     }
 
 
+def _arrival_entry(name: str) -> dict:
+    from ..workloads.arrivals import get_arrival
+
+    cls = get_arrival(name)
+    defaults = dataclasses.asdict(cls.default_config())
+    return {
+        "name": name,
+        "description": getattr(cls, "description", ""),
+        "params": {key: _json_safe(value) for key, value in defaults.items()},
+    }
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
+    from ..workloads.arrivals import available_arrivals
+    from .config import KINDS
+
     if args.as_json:
         payload = {
             "version": _version(),
@@ -224,6 +239,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
             "drive_models": list(available_models()),
             "schedulers": [
                 _scheduler_entry(name) for name in available_schedulers()
+            ],
+            "scenario_kinds": list(KINDS),
+            "arrivals": [
+                _arrival_entry(name) for name in available_arrivals()
             ],
         }
         print(json.dumps(payload, indent=2))
@@ -239,6 +258,13 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("schedulers:")
     for name in available_schedulers():
         entry = _scheduler_entry(name)
+        print(f"  {name:12s} {entry['description']}")
+    print("scenario kinds:")
+    for kind in KINDS:
+        print(f"  {kind}")
+    print("arrival processes (service scenarios):")
+    for name in available_arrivals():
+        entry = _arrival_entry(name)
         print(f"  {name:12s} {entry['description']}")
     return 0
 

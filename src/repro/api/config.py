@@ -23,18 +23,16 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from ..disksim.errors import DiskSimError
-
-
-class ConfigError(DiskSimError):
-    """A scenario configuration is malformed."""
-
+# ConfigError lives with the rest of the simulator's exception hierarchy so
+# sim-layer validators (stream/importers) can raise it without importing the
+# api package; re-exported here because this module is its historical home.
+from ..disksim.errors import ConfigError
 
 #: Replay disciplines understood by :class:`ScenarioConfig`.
 MODES = ("open", "closed")
 
 #: Experiment kinds understood by :func:`repro.api.scenario.run_scenario`.
-KINDS = ("replay", "efficiency")
+KINDS = ("replay", "efficiency", "service")
 
 
 def _check_fields(cls: type, data: Mapping[str, Any]) -> None:

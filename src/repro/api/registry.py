@@ -10,11 +10,12 @@ generators in :mod:`repro.workloads` share:
   :class:`repro.sim.Trace`.
 
 The registry pre-loads the four evaluation workloads (postmark, sshbuild,
-filebench, synthetic) plus two raw sources built directly on
+filebench, synthetic) plus three raw sources built directly on
 :mod:`repro.core.access` and :mod:`repro.sim.trace`: ``sequential``
-(fixed-size sequential streams) and ``raw`` (explicit records, inline or
-from a JSON file).  New generators register with :func:`register_workload`,
-usable as a decorator.
+(fixed-size sequential streams), ``raw`` (explicit records, inline or
+from a JSON file) and ``raw-file`` (blktrace-style text trace files via
+:mod:`repro.sim.importers`).  New generators register with
+:func:`register_workload`, usable as a decorator.
 """
 
 from __future__ import annotations
@@ -134,6 +135,54 @@ class RawTrace:
         return trace
 
 
+@dataclass(frozen=True)
+class RawFileConfig:
+    """A blktrace-style text trace file (``ts dev lbn nblocks R|W``).
+
+    ``sort`` normalizes an unordered capture into issue order (open
+    replay and streaming require non-decreasing timestamps).
+    """
+
+    path: str | None = None
+    sort: bool = False
+
+
+class RawFile:
+    """Replay an external blktrace-style text trace file."""
+
+    name = "raw-file"
+
+    @classmethod
+    def default_config(cls) -> RawFileConfig:
+        return RawFileConfig()
+
+    @classmethod
+    def trace(
+        cls,
+        drive: DiskDrive,
+        config: RawFileConfig | None = None,
+        *,
+        traxtent: bool = False,
+        interarrival_ms: float | None = None,
+        start_ms: float = 0.0,
+    ) -> Trace:
+        from ..sim.importers import import_blktrace
+
+        config = config if config is not None else RawFileConfig()
+        if config.path is None:
+            raise ConfigError("raw-file workload needs 'path'")
+        trace = import_blktrace(config.path)
+        if config.sort and not trace.is_time_ordered():
+            trace = trace.sorted_by_issue()
+        if interarrival_ms is not None:
+            trace.issue_ms = [
+                start_ms + i * interarrival_ms for i in range(len(trace))
+            ]
+        elif start_ms:
+            trace.shift_to(start_ms)
+        return trace
+
+
 # --------------------------------------------------------------------------- #
 # The registry
 # --------------------------------------------------------------------------- #
@@ -197,9 +246,12 @@ for _generator in GENERATORS:
     register_workload(_generator)
 register_workload(Sequential)
 register_workload(RawTrace)
+register_workload(RawFile)
 
 
 __all__ = [
+    "RawFile",
+    "RawFileConfig",
     "RawTrace",
     "RawTraceConfig",
     "Sequential",

@@ -115,6 +115,7 @@ class RunResult:
             "efficiency": stats.efficiency,
             "response_mean_ms": stats.response.get("mean", 0.0),
             "response_p99_ms": stats.response.get("p99", 0.0),
+            "response_p999_ms": stats.response.get("p999", 0.0),
             "peak_outstanding": float(stats.peak_outstanding),
         }
         return cls(
@@ -123,6 +124,47 @@ class RunResult:
             traxtent=traxtent,
             metrics=metrics,
             replay=stats,
+        )
+
+    @classmethod
+    def from_service(
+        cls,
+        stats: Any,
+        scenario: str = "service",
+        traxtent: bool | None = None,
+    ) -> "RunResult":
+        """Adapt a storage-service :class:`repro.sim.stream.ServiceStats`.
+
+        The underlying streamed :class:`ReplayStats` is carried whole
+        (``replay``); service-level extras (SLO accounting, queue-depth
+        series) land in ``details``.
+        """
+        metrics = {
+            "requests": float(stats.requests),
+            "throughput_rps": stats.throughput_rps,
+            "saturation_rps": stats.saturation_rps,
+            "slo_violation_fraction": stats.slo_violation_fraction,
+            "response_mean_ms": stats.mean_response_ms,
+            "response_p50_ms": stats.p50_ms,
+            "response_p99_ms": stats.p99_ms,
+            "response_p999_ms": stats.p999_ms,
+            "peak_outstanding": float(stats.replay.peak_outstanding),
+        }
+        details = {
+            "slo_ms": stats.slo_ms,
+            "slo_violations": stats.slo_violations,
+            "queue_depth_times_ms": list(stats.queue_depth_times_ms),
+            "queue_depth_per_drive": [
+                list(series) for series in stats.queue_depth_per_drive
+            ],
+        }
+        return cls(
+            scenario=scenario,
+            kind="service",
+            traxtent=traxtent,
+            metrics=metrics,
+            replay=stats.replay,
+            details=details,
         )
 
     @classmethod
@@ -239,6 +281,8 @@ class Comparison:
     LOWER_IS_BETTER = (
         "response_mean_ms",
         "response_p99_ms",
+        "response_p999_ms",
+        "slo_violation_fraction",
         "head_time_ms",
         "makespan_ms",
         "overall_write_cost",

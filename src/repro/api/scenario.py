@@ -208,6 +208,88 @@ def _run_efficiency(config: ScenarioConfig) -> RunResult:
     )
 
 
+def _run_service(config: ScenarioConfig, fast: bool | None = None) -> RunResult:
+    """Run a ``service`` scenario: an open-loop fleet under sustained load.
+
+    The request source is either a seeded arrival process
+    (:mod:`repro.workloads.arrivals`, when the workload name matches one)
+    streamed lazily over the fleet's global LBN space, or any registered
+    workload whose materialized trace is then streamed in chunks.  Replay
+    goes through the bounded-memory streaming path; the result carries
+    :class:`~repro.sim.stream.ServiceStats` (tail latencies, SLO
+    accounting, saturation throughput, queue-depth series).
+    """
+    from ..sim.stream import DEFAULT_CHUNK_REQUESTS, TraceStream, run_service
+    from ..workloads.arrivals import ARRIVALS, arrival_config
+
+    if config.mode != "open":
+        raise ConfigError(
+            "service scenarios are open-loop by definition; "
+            f"got mode {config.mode!r} (arrivals are never gated on "
+            "completions -- use a 'replay' scenario for closed loops)"
+        )
+    if "queue_depth" in config.options:
+        raise ConfigError(
+            "options['queue_depth'] applies to closed replay only; in a "
+            "service scenario queueing emerges from the arrival process"
+        )
+    fleet = build_fleet(config.fleet, config.drive)
+    if fast is None:
+        option = config.options.get("fast")
+        fast = None if option is None else bool(option)
+    opts = config.options
+    chunk_requests = int(opts.get("chunk_requests", DEFAULT_CHUNK_REQUESTS))
+    slo_ms = float(opts.get("slo_ms", 50.0))
+    queue_samples = int(opts.get("queue_samples", 64))
+    policy = opts.get("scheduler")
+    starvation = opts.get("starvation_ms")
+    if starvation is not None and policy is None:
+        raise ConfigError(
+            "options['starvation_ms'] needs options['scheduler'] to be "
+            "set; pick a policy for the bound to act on"
+        )
+
+    name = config.workload.name
+    if name in ARRIVALS:
+        params = dict(config.workload.params)
+        if config.seed is not None:
+            params["seed"] = config.seed
+        arrivals = arrival_config(name, **params)
+        source = ARRIVALS[name].stream(
+            arrivals, fleet.total_lbns, chunk_requests
+        )
+        stream = TraceStream(source)
+    else:
+        trace = build_trace(config)
+        if len(fleet) > 1 and _should_stripe(config, fleet, trace):
+            trace = stripe_trace(
+                trace, fleet, seed=int(opts.get("stripe_seed", 43))
+            )
+        if not trace.is_time_ordered():
+            trace = trace.sorted_by_issue()
+        stream = TraceStream.from_trace(trace, chunk_requests)
+
+    engine = TraceReplayEngine(
+        fleet,
+        batch_size=config.batch_size,
+        fast=fast,
+        scheduler=policy,
+        starvation_ms=None if starvation is None else float(starvation),
+    )
+    stats = run_service(
+        engine, stream, slo_ms=slo_ms, queue_samples=queue_samples
+    )
+    result = RunResult.from_service(
+        stats, scenario=config.name, traxtent=config.traxtent
+    )
+    if policy is not None:
+        result.details["scheduler"] = engine.scheduler_name
+    result.details["arrival_process"] = name if name in ARRIVALS else None
+    result.details["replay_path"] = engine.last_replay_path
+    result.details["fast_reason"] = engine.last_fast_reason
+    return result
+
+
 def run_scenario(config: ScenarioConfig, fast: bool | None = None) -> RunResult:
     """Run one declarative scenario and return its :class:`RunResult`.
 
@@ -220,6 +302,8 @@ def run_scenario(config: ScenarioConfig, fast: bool | None = None) -> RunResult:
     """
     if config.kind == "efficiency":
         return _run_efficiency(config)
+    if config.kind == "service":
+        return _run_service(config, fast=fast)
     return _run_replay(config, fast=fast)
 
 
@@ -391,6 +475,42 @@ class Scenario:
         it is excluded from ``scenario_hash``.
         """
         return self.options(fast=enabled)
+
+    def service(
+        self,
+        arrivals: str | None = None,
+        slo_ms: float = 50.0,
+        chunk_requests: int | None = None,
+        queue_samples: int | None = None,
+        **params: Any,
+    ) -> "Scenario":
+        """Turn the scenario into an open-loop storage-service run.
+
+        ``arrivals`` selects a seeded arrival process from
+        :func:`repro.workloads.arrivals.available_arrivals` (``poisson``,
+        ``bursty``, ``diurnal``, ``multiclient``) with ``params`` as its
+        parameters; leave it ``None`` to stream the currently selected
+        workload's trace instead.  ``slo_ms`` is the response-time target
+        the SLO-violation fraction is counted against.
+        """
+        self._replace(kind="service", mode="open")
+        if arrivals is not None:
+            from ..workloads.arrivals import get_arrival
+
+            get_arrival(arrivals)  # fail fast on unknown names
+            self._replace(
+                workload=WorkloadConfig(name=arrivals, params=params)
+            )
+        elif params:
+            raise ConfigError(
+                "service(): arrival parameters need an arrival process name"
+            )
+        extra: dict[str, Any] = {"slo_ms": float(slo_ms)}
+        if chunk_requests is not None:
+            extra["chunk_requests"] = int(chunk_requests)
+        if queue_samples is not None:
+            extra["queue_samples"] = int(queue_samples)
+        return self.options(**extra)
 
     def efficiency(
         self,

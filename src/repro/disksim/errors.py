@@ -27,6 +27,18 @@ class RequestError(DiskSimError):
     """A disk request is malformed (zero length, bad opcode, bad timing)."""
 
 
+class ConfigError(DiskSimError):
+    """A configuration or input stream is malformed.
+
+    Raised by the scenario configuration layer (:mod:`repro.api.config`
+    re-exports this class) and by the trace/arrival input validators in
+    :mod:`repro.sim.stream` and :mod:`repro.sim.importers`: malformed
+    arrival inputs (non-monotonic, negative or NaN timestamps; unparsable
+    trace lines) fail loudly at construction with the offending index
+    instead of corrupting replay ordering silently.
+    """
+
+
 class MediaError(DiskSimError):
     """An access touched a defective sector that is neither slipped nor
     remapped (i.e., an unhandled grown defect)."""

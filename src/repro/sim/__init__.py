@@ -17,18 +17,25 @@ Typical use::
 """
 
 from .engine import ReplayStats, TraceReplayEngine
+from .importers import import_blktrace, iter_blktrace_chunks
 from .kernel import clear_kernel_tables, replay_kernel
 from .shard import LbnRangeShard, RoutedPiece
+from .stream import ServiceStats, TraceStream, run_service
 from .trace import Trace, TraceRecord, TraceRecordingDrive
 
 __all__ = [
     "LbnRangeShard",
     "ReplayStats",
     "RoutedPiece",
+    "ServiceStats",
     "Trace",
     "TraceRecord",
     "TraceRecordingDrive",
     "TraceReplayEngine",
+    "TraceStream",
     "clear_kernel_tables",
+    "import_blktrace",
+    "iter_blktrace_chunks",
     "replay_kernel",
+    "run_service",
 ]

@@ -136,7 +136,12 @@ class TraceReplayEngine:
     ``"request exceeds fleet capacity"``,
     ``"shard-boundary-crossing requests"``,
     ``"firmware-cache-sensitive reuse"`` or
-    ``"scheduler not kernel-vectorizable"``.
+    ``"scheduler not kernel-vectorizable"``.  Streaming replays
+    (:meth:`replay_stream`/:meth:`replay_closed_stream`) may additionally
+    report ``last_replay_path == "mixed"`` (kernel and scalar chunks in
+    one stream) and the refusal
+    ``"scheduler not chunk-vectorizable"`` (scheduled streams run the
+    exact scalar queue loops).
 
     ``scheduler`` selects the drive-level dispatch policy (a name from
     :func:`repro.disksim.sched.available_schedulers`, a
@@ -522,6 +527,40 @@ class TraceReplayEngine:
             if cursors[shard] < len(queues[shard]):
                 heapq.heappush(heap, (done.completion + think_ms, shard))
         return self._aggregate(trace, results, "closed", before, split_before)
+
+    # ------------------------------------------------------------------ #
+    # Streaming replay
+    # ------------------------------------------------------------------ #
+    def replay_stream(self, chunks, reset: bool = True) -> ReplayStats:
+        """Open replay of a chunked trace stream with bounded memory.
+
+        ``chunks`` is a :class:`~repro.sim.stream.TraceStream`, a
+        :class:`Trace` (streamed via :meth:`Trace.iter_chunks`), or any
+        iterable of trace chunks with globally non-decreasing timestamps.
+        Chunks are consumed one at a time with warm-state continuation;
+        the returned statistics are **bitwise identical** to
+        :meth:`replay` of the concatenated trace.  ``last_replay_path``
+        may additionally report ``"mixed"`` when some chunks ran on the
+        kernel and others fell back to the scalar path.
+        """
+        from .stream import replay_stream
+
+        return replay_stream(self, chunks, reset=reset)
+
+    def replay_closed_stream(
+        self, chunks, think_ms: float = 0.0, reset: bool = True
+    ) -> ReplayStats:
+        """Closed replay of a chunked trace stream with bounded memory.
+
+        Bitwise identical to :meth:`replay_closed` of the concatenated
+        trace.  Non-FCFS policies and ``queue_depth > 1`` stream through
+        the exact scalar queue loops (``last_fast_reason`` reports
+        ``"scheduler not chunk-vectorizable"``); FCFS depth-1 chunks use
+        the event-batched scheduled kernel with a carried per-shard clock.
+        """
+        from .stream import replay_closed_stream
+
+        return replay_closed_stream(self, chunks, think_ms=think_ms, reset=reset)
 
     # ------------------------------------------------------------------ #
     # Aggregation

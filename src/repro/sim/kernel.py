@@ -192,6 +192,104 @@ def _cache_sensitive(np, cache, lbns, counts, is_read) -> bool:
     return bool(np.any(starts[1:] <= covered_until))
 
 
+def warm_cache_clean(np, cache, lbns, is_read) -> bool:
+    """True when every read is a *guaranteed* clean miss against the cache's
+    current (possibly warm) state.
+
+    A probe can only return a hit or an active stream when the read's start
+    LBN lies inside a cached segment ``[s, e)`` or inside the prefetch
+    window, which is always contained in
+    ``[_prefetch_start, _prefetch_limit]`` (checked inclusively here, which
+    is conservative).  The chunked streaming path uses this dynamic gate --
+    together with the static :func:`_cache_sensitive` check for reuse within
+    the chunk itself -- to keep servicing later chunks through the kernel
+    after earlier chunks have warmed the cache.
+    """
+    if not cache.enable_caching:
+        return True
+    starts = lbns[is_read]
+    if starts.size == 0:
+        return True
+    hot = np.zeros(starts.shape[0], dtype=bool)
+    for seg_start, seg_end in cache.segments:
+        hot |= (starts >= seg_start) & (starts < seg_end)
+    if cache.enable_prefetch and cache._prefetch_start is not None:
+        hot |= (starts >= cache._prefetch_start) & (
+            starts <= cache._prefetch_limit
+        )
+    return not bool(hot.any())
+
+
+def fleet_eligibility(fleet: "LbnRangeShard", reset: bool) -> "str | None":
+    """Drive-level kernel refusal reason for ``fleet``, or None if eligible.
+
+    Shared by :func:`replay_kernel`, :func:`replay_kernel_sched` and the
+    chunked streaming path (:mod:`repro.sim.stream`).
+    """
+    for drive in fleet.drives:
+        if drive.geometry.has_defects:
+            return "defective geometry"
+        if not drive.bus.in_order:
+            return "out-of-order bus"
+    if not reset:
+        for drive in fleet.drives:
+            if drive.cache.enable_caching and not drive.cache.is_pristine:
+                return "warm firmware cache (reset=False)"
+    return None
+
+
+def trace_columns(np, fleet: "LbnRangeShard", ordered: "Trace"):
+    """Validated numpy columns for a trace already in admission order.
+
+    Returns ``((lbns, counts, issue, is_read), None)`` on success or
+    ``(None, reason)`` with the kernel's refusal vocabulary.
+    """
+    lbns = np.asarray(ordered.lbns, dtype=np.int64)
+    counts = np.asarray(ordered.counts, dtype=np.int64)
+    issue = np.asarray(ordered.issue_ms, dtype=np.float64)
+    n = int(lbns.shape[0])
+    op_codes = np.fromiter(
+        (0 if op == READ else (1 if op == WRITE else 2) for op in ordered.ops),
+        dtype=np.int8,
+        count=n,
+    )
+    if (op_codes == 2).any():
+        return None, "unknown opcode"
+    is_read = op_codes == 0
+    if counts.min() <= 0 or lbns.min() < 0:
+        return None, "invalid request"
+    if int((lbns + counts).max()) > fleet.total_lbns:
+        return None, "request exceeds fleet capacity"
+    return (lbns, counts, issue, is_read), None
+
+
+def shard_split(np, fleet: "LbnRangeShard", lbns, counts, issue, is_read):
+    """Split validated columns into per-shard local columns.
+
+    Returns ``(shard_cols, None)`` -- one ``(lbns, counts, issue, is_read)``
+    tuple per drive, LBNs shard-local -- or ``(None, reason)`` when some
+    request crosses a shard boundary.
+    """
+    n_shards = len(fleet.drives)
+    if n_shards == 1:
+        return [(lbns, counts, issue, is_read)], None
+    starts = np.asarray(
+        [fleet.shard_range(s)[0] for s in range(n_shards)], dtype=np.int64
+    )
+    ends = np.asarray(
+        [fleet.shard_range(s)[1] for s in range(n_shards)], dtype=np.int64
+    )
+    shard = np.searchsorted(starts, lbns, side="right") - 1
+    if bool((lbns + counts > ends[shard]).any()):
+        return None, "shard-boundary-crossing requests"
+    local = lbns - starts[shard]
+    shard_cols = []
+    for s in range(n_shards):
+        mask = shard == s
+        shard_cols.append((local[mask], counts[mask], issue[mask], is_read[mask]))
+    return shard_cols, None
+
+
 # --------------------------------------------------------------------------- #
 # Per-shard service: vectorized precompute + serial recurrence
 # --------------------------------------------------------------------------- #
@@ -219,7 +317,17 @@ class _ShardOutcome:
         self.busy_sum = 0.0
 
 
-def _service_shard(np, drive: "DiskDrive", lbns, counts, issue, is_read) -> _ShardOutcome:
+def _service_shard(
+    np,
+    drive: "DiskDrive",
+    lbns,
+    counts,
+    issue,
+    is_read,
+    latency_start: float = 0.0,
+    overlap_start: float = 0.0,
+    busy_start: float = 0.0,
+) -> _ShardOutcome:
     """Replay one shard-local stream against a freshly reset ``drive``.
 
     ``lbns``/``counts``/``issue``/``is_read`` are numpy columns in issue
@@ -227,6 +335,11 @@ def _service_shard(np, drive: "DiskDrive", lbns, counts, issue, is_read) -> _Sha
     single-track service with every gatherable quantity precomputed; the
     float arithmetic is kept in the exact same order so results are bitwise
     identical.
+
+    ``latency_start``/``overlap_start``/``busy_start`` seed the in-loop sum
+    accumulators so a chunked replay (:mod:`repro.sim.stream`) can continue
+    the left fold of an earlier chunk: the returned ``*_sum`` values are then
+    cumulative over the whole stream and bitwise equal to a one-shot fold.
     """
     out = _ShardOutcome()
     n = int(lbns.shape[0])
@@ -322,9 +435,9 @@ def _service_shard(np, drive: "DiskDrive", lbns, counts, issue, is_read) -> _Sha
     record_write = cache.record_write
 
     completions = [0.0] * n
-    latency_sum = 0.0
-    overlap_sum = 0.0
-    busy_sum = 0.0
+    latency_sum = latency_start
+    overlap_sum = overlap_start
+    busy_sum = busy_start
     fallback_busy = 0.0
     act_free = drive.actuator_free
     b_free = drive.bus_free
@@ -535,7 +648,7 @@ def _service_shard(np, drive: "DiskDrive", lbns, counts, issue, is_read) -> _Sha
     # ``busy_sum``, which is accumulated in request order and therefore
     # bitwise identical to the scalar path; the drive's own cumulative
     # counter does not depend on summation order.)
-    stats.busy_ms += busy_sum - fallback_busy
+    stats.busy_ms += busy_sum - busy_start - fallback_busy
 
     out.issue = issue_l
     out.completions = completions
@@ -561,7 +674,11 @@ def _service_shard_sched(
     mode: str,
     depth: int,
     think_ms: float,
-) -> "tuple[_ShardOutcome, int]":
+    latency_start: float = 0.0,
+    overlap_start: float = 0.0,
+    busy_start: float = 0.0,
+    now_start: float = 0.0,
+) -> "tuple[_ShardOutcome, int, float]":
     """Event-batched scheduled replay of one shard-local stream.
 
     The scalar queue loops in :class:`~repro.sim.engine.TraceReplayEngine`
@@ -578,7 +695,12 @@ def _service_shard_sched(
     forced-dispatch accounting, seq tie-breaking), so the replay is
     bitwise identical to the scalar queue loop.
 
-    Returns the shard outcome plus the scheduler's forced-dispatch count.
+    Returns the shard outcome, the scheduler's forced-dispatch count, and
+    the final closed-loop clock (``completion + think_ms`` of the last
+    dispatch; ``now_start`` echoed back in open mode or on an empty shard).
+    ``latency_start``/``overlap_start``/``busy_start``/``now_start`` let a
+    chunked replay (:mod:`repro.sim.stream`) continue an earlier chunk's
+    accumulator fold and closed-loop clock bitwise-exactly.
     """
     from ..disksim.sched import (
         KERNEL_SMALL_QUEUE,
@@ -591,7 +713,7 @@ def _service_shard_sched(
     n = int(lbns.shape[0])
     out.n = n
     if n == 0:
-        return out, 0
+        return out, 0, now_start
 
     geometry = drive.geometry
     specs = drive.specs
@@ -722,9 +844,9 @@ def _service_shard_sched(
     hs_o: list[float] = []
     transfer_o: list[float] = []
     bus_o: list[float] = []
-    latency_sum = 0.0
-    overlap_sum = 0.0
-    busy_sum = 0.0
+    latency_sum = latency_start
+    overlap_sum = overlap_start
+    busy_sum = busy_start
     fallback_busy = 0.0
     act_free = drive.actuator_free
     b_free = drive.bus_free
@@ -755,7 +877,7 @@ def _service_shard_sched(
     # time because dispatch order is policy-driven) are inlined: closure
     # cells and helper-call overhead are measurable at kernel speeds.
     open_mode = mode == "open"
-    now = 0.0
+    now = now_start
     i = 0
     if not open_mode:
         issue_np = issue_col
@@ -1047,7 +1169,7 @@ def _service_shard_sched(
     stats.writes += int(np.count_nonzero(inline_writes))
     stats.sectors_read += int(counts[inline_reads].sum())
     stats.sectors_written += int(counts[inline_writes].sum())
-    stats.busy_ms += busy_sum - fallback_busy
+    stats.busy_ms += busy_sum - busy_start - fallback_busy
 
     out.issue = issue_o
     out.completions = comp_o
@@ -1059,7 +1181,7 @@ def _service_shard_sched(
     out.latency_sum = latency_sum
     out.overlap_sum = overlap_sum
     out.busy_sum = busy_sum
-    return out, forced
+    return out, forced, now
 
 
 # --------------------------------------------------------------------------- #
@@ -1080,56 +1202,20 @@ def replay_kernel(
         return None, "numpy unavailable"
     if len(trace) == 0:
         return None, "empty trace"
-    for drive in fleet.drives:
-        if drive.geometry.has_defects:
-            return None, "defective geometry"
-        if not drive.bus.in_order:
-            return None, "out-of-order bus"
-    if not reset:
-        for drive in fleet.drives:
-            if drive.cache.enable_caching and not drive.cache.is_pristine:
-                return None, "warm firmware cache (reset=False)"
+    reason = fleet_eligibility(fleet, reset)
+    if reason is not None:
+        return None, reason
 
     ordered = trace if trace.is_time_ordered() else trace.sorted_by_issue()
-    lbns = np.asarray(ordered.lbns, dtype=np.int64)
-    counts = np.asarray(ordered.counts, dtype=np.int64)
-    issue = np.asarray(ordered.issue_ms, dtype=np.float64)
+    columns, reason = trace_columns(np, fleet, ordered)
+    if reason is not None:
+        return None, reason
+    lbns, counts, issue, is_read = columns
     n = int(lbns.shape[0])
 
-    ops = ordered.ops
-    op_codes = np.fromiter(
-        (0 if op == READ else (1 if op == WRITE else 2) for op in ops),
-        dtype=np.int8,
-        count=n,
-    )
-    if (op_codes == 2).any():
-        return None, "unknown opcode"
-    is_read = op_codes == 0
-    if counts.min() <= 0 or lbns.min() < 0:
-        return None, "invalid request"
-    if int((lbns + counts).max()) > fleet.total_lbns:
-        return None, "request exceeds fleet capacity"
-
-    n_shards = len(fleet.drives)
-    if n_shards == 1:
-        shard_cols = [(lbns, counts, issue, is_read)]
-    else:
-        starts = np.asarray(
-            [fleet.shard_range(s)[0] for s in range(n_shards)], dtype=np.int64
-        )
-        ends = np.asarray(
-            [fleet.shard_range(s)[1] for s in range(n_shards)], dtype=np.int64
-        )
-        shard = np.searchsorted(starts, lbns, side="right") - 1
-        if bool((lbns + counts > ends[shard]).any()):
-            return None, "shard-boundary-crossing requests"
-        local = lbns - starts[shard]
-        shard_cols = []
-        for s in range(n_shards):
-            mask = shard == s
-            shard_cols.append(
-                (local[mask], counts[mask], issue[mask], is_read[mask])
-            )
+    shard_cols, reason = shard_split(np, fleet, lbns, counts, issue, is_read)
+    if reason is not None:
+        return None, reason
 
     for (s_lbns, s_counts, s_issue, s_read), drive in zip(shard_cols, fleet.drives):
         if _cache_sensitive(np, drive.cache, s_lbns, s_counts, s_read):
@@ -1186,60 +1272,24 @@ def replay_kernel_sched(
     sched_reason = kernel_fallback_reason(scheduler)
     if sched_reason is not None:
         return None, sched_reason
-    for drive in fleet.drives:
-        if drive.geometry.has_defects:
-            return None, "defective geometry"
-        if not drive.bus.in_order:
-            return None, "out-of-order bus"
-    if not reset:
-        for drive in fleet.drives:
-            if drive.cache.enable_caching and not drive.cache.is_pristine:
-                return None, "warm firmware cache (reset=False)"
+    reason = fleet_eligibility(fleet, reset)
+    if reason is not None:
+        return None, reason
 
     if mode == "open":
         ordered = trace if trace.is_time_ordered() else trace.sorted_by_issue()
     else:
         # Closed replay ignores timestamps and admits in raw trace order.
         ordered = trace
-    lbns = np.asarray(ordered.lbns, dtype=np.int64)
-    counts = np.asarray(ordered.counts, dtype=np.int64)
-    issue = np.asarray(ordered.issue_ms, dtype=np.float64)
+    columns, reason = trace_columns(np, fleet, ordered)
+    if reason is not None:
+        return None, reason
+    lbns, counts, issue, is_read = columns
     n = int(lbns.shape[0])
 
-    ops = ordered.ops
-    op_codes = np.fromiter(
-        (0 if op == READ else (1 if op == WRITE else 2) for op in ops),
-        dtype=np.int8,
-        count=n,
-    )
-    if (op_codes == 2).any():
-        return None, "unknown opcode"
-    is_read = op_codes == 0
-    if counts.min() <= 0 or lbns.min() < 0:
-        return None, "invalid request"
-    if int((lbns + counts).max()) > fleet.total_lbns:
-        return None, "request exceeds fleet capacity"
-
-    n_shards = len(fleet.drives)
-    if n_shards == 1:
-        shard_cols = [(lbns, counts, issue, is_read)]
-    else:
-        starts = np.asarray(
-            [fleet.shard_range(s)[0] for s in range(n_shards)], dtype=np.int64
-        )
-        ends = np.asarray(
-            [fleet.shard_range(s)[1] for s in range(n_shards)], dtype=np.int64
-        )
-        shard = np.searchsorted(starts, lbns, side="right") - 1
-        if bool((lbns + counts > ends[shard]).any()):
-            return None, "shard-boundary-crossing requests"
-        local = lbns - starts[shard]
-        shard_cols = []
-        for s in range(n_shards):
-            mask = shard == s
-            shard_cols.append(
-                (local[mask], counts[mask], issue[mask], is_read[mask])
-            )
+    shard_cols, reason = shard_split(np, fleet, lbns, counts, issue, is_read)
+    if reason is not None:
+        return None, reason
 
     for (s_lbns, s_counts, s_issue, s_read), drive in zip(shard_cols, fleet.drives):
         if _cache_sensitive(np, drive.cache, s_lbns, s_counts, s_read):
@@ -1257,7 +1307,7 @@ def replay_kernel_sched(
     for (s_lbns, s_counts, s_issue, s_read), drive in zip(shard_cols, fleet.drives):
         shard_sched = scheduler.clone()
         shard_sched.kernel_reset()
-        outcome, shard_forced = _service_shard_sched(
+        outcome, shard_forced, _ = _service_shard_sched(
             np, drive, shard_sched, s_lbns, s_counts, s_issue, s_read,
             mode, queue_depth, think_ms,
         )
@@ -1359,9 +1409,13 @@ def _aggregate_kernel(
 
 __all__ = [
     "clear_kernel_tables",
+    "fleet_eligibility",
     "geometry_tables",
     "replay_kernel",
     "replay_kernel_sched",
     "seek_table",
     "seek_table_list",
+    "shard_split",
+    "trace_columns",
+    "warm_cache_clean",
 ]

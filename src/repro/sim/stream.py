@@ -1,0 +1,1041 @@
+"""Chunked/streaming trace replay: bounded-memory input for the engine.
+
+A :class:`TraceStream` is a lazy sequence of bounded columnar
+:class:`~repro.sim.trace.Trace` chunks sharing one global timeline.  The
+drivers in this module consume a stream chunk by chunk with **warm-state
+continuation** -- actuator/bus availability, head position, firmware-cache
+contents, per-shard clocks and every statistics fold carry across chunk
+boundaries -- so the returned :class:`~repro.sim.engine.ReplayStats` is
+**bitwise identical** to a one-shot replay of the concatenated trace, while
+memory stays proportional to the chunk size (plus two 8-byte floats per
+request for the response/outstanding statistics).
+
+Path selection per replay discipline:
+
+* **open FCFS** -- each chunk is serviced by the columnar kernel
+  (:func:`repro.sim.kernel._service_shard`) with accumulator-fold carry
+  whenever the chunk is eligible, falling back to the exact scalar
+  ``submit_batch`` path per chunk otherwise.  Mixing is bitwise-safe
+  because both paths leave identical drive state.  Chunks whose reads
+  would touch cache state left by *earlier* chunks fall back (the dynamic
+  :func:`repro.sim.kernel.warm_cache_clean` gate), so cache-hit servicing
+  stays on the exact scalar path.
+* **closed FCFS, depth 1** (classic onereq) -- chunks go through the
+  event-batched scheduled kernel (:func:`_service_shard_sched`) with a
+  carried per-shard clock, or through an exact sequential scalar loop.
+* **open non-FCFS** -- exact scalar persistent-queue streaming: each
+  drive's scheduler queue survives across chunks, and dispatch decisions
+  at or beyond the next chunk's first timestamp are deferred until that
+  chunk arrives (requests that would have been admitted first in a
+  one-shot replay are then admitted first here too).
+* **closed non-FCFS or depth > 1** -- exact scalar persistent-queue
+  streaming; admissions owed at a chunk boundary are performed before the
+  next dispatch, so the queue always holds exactly what the one-shot loop
+  would hold.
+
+The open-loop **service scenario** (:func:`run_service`) replays an
+arrival-process stream against an LBN-sharded fleet and reports
+:class:`ServiceStats`: tail response times (p50/p99/p999), SLO-violation
+fraction, saturation throughput and per-drive queue-depth time series.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from ..disksim.drive import BatchResult, DiskRequest
+from ..disksim.errors import ConfigError, RequestError
+from ..disksim.geometry import _numpy
+from .trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import ReplayStats, TraceReplayEngine
+    from .kernel import _ShardOutcome
+    from .shard import LbnRangeShard
+
+#: Default chunk size (requests) used by stream builders.
+DEFAULT_CHUNK_REQUESTS = 65536
+
+#: Slice size for the C-speed left-fold over response times at finalize.
+_FOLD_SLICE = 262144
+
+
+# --------------------------------------------------------------------------- #
+# TraceStream
+# --------------------------------------------------------------------------- #
+
+class TraceStream:
+    """A lazy, validated sequence of bounded :class:`Trace` chunks.
+
+    Wraps any iterable of trace chunks (a generator, a list, another
+    stream).  As chunks are drawn, their timestamps are validated --
+    **NaN** and **negative** timestamps always fail, and with
+    ``require_ordered=True`` (the default, and required for open-loop
+    streaming) **non-monotonic** timestamps fail too -- with a loud
+    :class:`~repro.disksim.errors.ConfigError` naming the offending global
+    request index, instead of corrupting replay ordering silently.
+
+    A stream is single-use: it can be iterated once.
+    """
+
+    def __init__(
+        self,
+        chunks: "Iterable[Trace]",
+        require_ordered: bool = True,
+        validate: bool = True,
+    ) -> None:
+        self._chunks = iter(chunks)
+        self.require_ordered = require_ordered
+        self.validate = validate
+        self._index = 0
+        self._last_ts: float | None = None
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: "Trace",
+        chunk_requests: int = DEFAULT_CHUNK_REQUESTS,
+        require_ordered: bool = True,
+        validate: bool = True,
+    ) -> "TraceStream":
+        """Stream view of a materialized trace (see ``Trace.iter_chunks``)."""
+        return cls(
+            trace.iter_chunks(chunk_requests),
+            require_ordered=require_ordered,
+            validate=validate,
+        )
+
+    def __iter__(self) -> Iterator["Trace"]:
+        for chunk in self._chunks:
+            if self.validate and len(chunk):
+                self._validate(chunk)
+            self._index += len(chunk)
+            yield chunk
+
+    def materialize(self) -> "Trace":
+        """Assemble the remaining chunks into one trace (consumes the
+        stream)."""
+        return Trace.from_chunks(self)
+
+    # ------------------------------------------------------------------ #
+    def _validate(self, chunk: "Trace") -> None:
+        times = chunk.issue_ms
+        base = self._index
+        np = _numpy()
+        if np is not None:
+            arr = np.asarray(times, dtype=np.float64)
+            bad = np.isnan(arr)
+            if bad.any():
+                k = int(bad.argmax())
+                raise ConfigError(f"NaN timestamp at request #{base + k}")
+            neg = arr < 0.0
+            if neg.any():
+                k = int(neg.argmax())
+                raise ConfigError(
+                    f"negative timestamp {times[k]!r} at request #{base + k}"
+                )
+            if self.require_ordered:
+                prev = self._last_ts
+                if prev is not None and times[0] < prev:
+                    raise ConfigError(
+                        f"non-monotonic timestamp at request #{base}: "
+                        f"{times[0]!r} < {prev!r}"
+                    )
+                if arr.shape[0] > 1:
+                    drop = arr[1:] < arr[:-1]
+                    if drop.any():
+                        k = int(drop.argmax()) + 1
+                        raise ConfigError(
+                            f"non-monotonic timestamp at request #{base + k}: "
+                            f"{times[k]!r} < {times[k - 1]!r}"
+                        )
+        else:
+            prev = self._last_ts
+            for k, t in enumerate(times):
+                if t != t:
+                    raise ConfigError(f"NaN timestamp at request #{base + k}")
+                if t < 0.0:
+                    raise ConfigError(
+                        f"negative timestamp {t!r} at request #{base + k}"
+                    )
+                if self.require_ordered:
+                    if prev is not None and t < prev:
+                        raise ConfigError(
+                            f"non-monotonic timestamp at request #{base + k}: "
+                            f"{t!r} < {prev!r}"
+                        )
+                    prev = t
+        if self.require_ordered:
+            self._last_ts = times[-1]
+
+
+# --------------------------------------------------------------------------- #
+# Streaming aggregation (bitwise mirror of the one-shot aggregates)
+# --------------------------------------------------------------------------- #
+
+class _ShardAgg:
+    """Per-shard fold state: response events plus breakdown accumulators.
+
+    Only ``issues``/``completions`` grow with the stream (8 bytes per
+    request each); every per-request timing column is folded into its
+    running sum as chunks complete, continuing the exact left fold the
+    one-shot aggregates compute (``sum(column)`` per shard)."""
+
+    __slots__ = (
+        "issues", "completions", "requests", "seek", "settle", "latency",
+        "head_switch", "transfer", "bus", "overlap", "busy",
+    )
+
+    def __init__(self) -> None:
+        self.issues = array("d")
+        self.completions = array("d")
+        self.requests = 0
+        self.seek = 0.0
+        self.settle = 0.0
+        self.latency = 0.0
+        self.head_switch = 0.0
+        self.transfer = 0.0
+        self.bus = 0.0
+        self.overlap = 0.0
+        self.busy = 0.0
+
+
+class _StreamAggregator:
+    """Accumulates chunk results into one bitwise-exact ``ReplayStats``.
+
+    Mirrors ``TraceReplayEngine._aggregate`` / ``_aggregate_kernel``: every
+    float statistic is a left fold in the exact order the one-shot
+    aggregates fold it (per-request within a shard, shards in order), so the
+    finalized stats are bitwise identical to a one-shot replay."""
+
+    def __init__(self, fleet: "LbnRangeShard", mode: str) -> None:
+        self.fleet = fleet
+        self.mode = mode
+        self.shards = [_ShardAgg() for _ in fleet.drives]
+        # Counter deltas: snapshot after reset, like the one-shot paths.
+        self.before = fleet.combined_stats()
+        self.split_before = fleet.split_requests
+        self.trace_requests = 0
+        self.start_ms = float("inf")
+        self.end_ms = float("-inf")
+
+    # ------------------------------------------------------------------ #
+    def add_scalar(self, shard: int, result: "BatchResult") -> None:
+        """Fold one chunk's scalar ``BatchResult`` for ``shard``."""
+        if not len(result):
+            return
+        agg = self.shards[shard]
+        agg.issues.extend(result.issue_times)
+        agg.completions.extend(result.completions)
+        agg.requests += len(result)
+        # sum(column, acc) continues the left fold of the concatenated
+        # column exactly (same additions in the same order).
+        agg.seek = sum(result.seek_ms, agg.seek)
+        agg.settle = sum(result.settle_ms, agg.settle)
+        agg.latency = sum(result.latency_ms, agg.latency)
+        agg.head_switch = sum(result.head_switch_ms, agg.head_switch)
+        agg.transfer = sum(result.transfer_ms, agg.transfer)
+        agg.bus = sum(result.bus_ms, agg.bus)
+        agg.overlap = sum(result.overlap_ms, agg.overlap)
+        agg.busy = sum(result.media_busy_ms(), agg.busy)
+        start = min(result.issue_times)
+        end = max(result.completions)
+        if start < self.start_ms:
+            self.start_ms = start
+        if end > self.end_ms:
+            self.end_ms = end
+
+    def add_kernel(self, shard: int, out: "_ShardOutcome") -> None:
+        """Fold one chunk's kernel ``_ShardOutcome`` for ``shard``.
+
+        The kernel was seeded with this shard's running accumulators
+        (``latency_start``/``overlap_start``/``busy_start``), so its
+        ``*_sum`` fields are already cumulative; the remaining columns are
+        folded here."""
+        if not out.n:
+            return
+        agg = self.shards[shard]
+        agg.issues.extend(out.issue)
+        agg.completions.extend(out.completions)
+        agg.requests += out.n
+        agg.seek = sum(out.seek, agg.seek)
+        agg.settle = sum(out.settle, agg.settle)
+        agg.head_switch = sum(out.head_switch, agg.head_switch)
+        agg.transfer = sum(out.transfer, agg.transfer)
+        agg.bus = sum(out.bus, agg.bus)
+        agg.latency = out.latency_sum
+        agg.overlap = out.overlap_sum
+        agg.busy = out.busy_sum
+        start = min(out.issue)
+        end = max(out.completions)
+        if start < self.start_ms:
+            self.start_ms = start
+        if end > self.end_ms:
+            self.end_ms = end
+
+    # ------------------------------------------------------------------ #
+    def finalize(self) -> "ReplayStats":
+        from .engine import ReplayStats
+
+        issued = sum(agg.requests for agg in self.shards)
+        if issued == 0:
+            raise RequestError("cannot replay an empty trace")
+
+        breakdown = {
+            "seek_ms": 0.0,
+            "settle_ms": 0.0,
+            "rotational_latency_ms": 0.0,
+            "head_switch_ms": 0.0,
+            "media_transfer_ms": 0.0,
+            "bus_ms": 0.0,
+            "bus_overlap_ms": 0.0,
+            "busy_ms": 0.0,
+        }
+        per_drive: list[dict[str, float]] = []
+        for agg in self.shards:
+            breakdown["seek_ms"] += agg.seek
+            breakdown["settle_ms"] += agg.settle
+            breakdown["rotational_latency_ms"] += agg.latency
+            breakdown["head_switch_ms"] += agg.head_switch
+            breakdown["media_transfer_ms"] += agg.transfer
+            breakdown["bus_ms"] += agg.bus
+            breakdown["bus_overlap_ms"] += agg.overlap
+            breakdown["busy_ms"] += agg.busy
+            per_drive.append(
+                {"requests": float(agg.requests), "busy_ms": agg.busy}
+            )
+
+        fleet = self.fleet
+        combined = fleet.combined_stats()
+        before = self.before
+        span = max(0.0, self.end_ms - self.start_ms)
+        for entry in per_drive:
+            entry["utilization"] = entry["busy_ms"] / span if span > 0.0 else 0.0
+
+        return ReplayStats(
+            trace_requests=self.trace_requests,
+            issued_requests=issued,
+            split_requests=fleet.split_requests - self.split_before,
+            reads=combined.reads - before.reads,
+            writes=combined.writes - before.writes,
+            cache_hits=combined.cache_hits - before.cache_hits,
+            streamed=combined.streamed - before.streamed,
+            sectors=(combined.sectors_read + combined.sectors_written)
+            - (before.sectors_read + before.sectors_written),
+            start_ms=self.start_ms,
+            end_ms=self.end_ms,
+            response=self._summarize(issued),
+            breakdown=breakdown,
+            per_drive=per_drive,
+            peak_outstanding=self._peak_outstanding(),
+            mode=self.mode,
+        )
+
+    # ------------------------------------------------------------------ #
+    def response_columns(self):
+        """Per-shard numpy response arrays (or Python lists without numpy),
+        in shard order.  Used by the service-scenario statistics."""
+        np = _numpy()
+        columns = []
+        for agg in self.shards:
+            if not agg.requests:
+                continue
+            if np is not None:
+                issues = np.frombuffer(agg.issues, dtype=np.float64)
+                comps = np.frombuffer(agg.completions, dtype=np.float64)
+                columns.append(comps - issues)
+            else:
+                columns.append(
+                    [c - i for c, i in zip(agg.completions, agg.issues)]
+                )
+        return columns
+
+    def _summarize(self, issued: int) -> dict[str, float]:
+        """Bitwise twin of ``analysis.stats.summarize`` over the
+        concatenated per-shard response lists, without materializing one
+        Python list of every response.
+
+        * ``mean``: the built-in ``sum`` left fold is continued across
+          shards (and across bounded slices within a shard) by passing the
+          running accumulator as the start value -- identical additions in
+          identical order.
+        * ``min``/``max``: exact under any evaluation order.
+        * percentiles: rank selection over the sorted multiset; responses
+          are strictly positive so equal doubles are bitwise equal.
+        """
+        np = _numpy()
+        columns = self.response_columns()
+        acc = 0.0
+        if np is not None:
+            mn = float("inf")
+            mx = float("-inf")
+            for resp in columns:
+                for lo in range(0, resp.shape[0], _FOLD_SLICE):
+                    acc = sum(resp[lo:lo + _FOLD_SLICE].tolist(), acc)
+                mn = min(mn, float(resp.min()))
+                mx = max(mx, float(resp.max()))
+            merged = np.concatenate(columns) if len(columns) > 1 else columns[0]
+            ordered = np.sort(merged)
+            n = int(ordered.shape[0])
+            out = {"mean": acc / issued, "min": mn, "max": mx}
+            for key, fraction in (
+                ("p50", 0.50), ("p90", 0.90), ("p95", 0.95),
+                ("p99", 0.99), ("p999", 0.999),
+            ):
+                rank = min(n - 1, max(0, math.ceil(fraction * n) - 1))
+                out[key] = float(ordered[rank])
+            return out
+        from ..analysis.stats import summarize
+
+        responses: list[float] = []
+        for resp in columns:
+            responses.extend(resp)
+        return summarize(responses)
+
+    def _peak_outstanding(self) -> int:
+        np = _numpy()
+        if np is not None:
+            issues = np.sort(
+                np.concatenate(
+                    [
+                        np.frombuffer(agg.issues, dtype=np.float64)
+                        for agg in self.shards
+                    ]
+                )
+            )
+            comps = np.sort(
+                np.concatenate(
+                    [
+                        np.frombuffer(agg.completions, dtype=np.float64)
+                        for agg in self.shards
+                    ]
+                )
+            )
+            done_before = np.searchsorted(comps, issues, side="right")
+            outstanding = np.arange(1, issues.shape[0] + 1) - done_before
+            return int(outstanding.max())
+        all_issues: list[float] = []
+        all_completions: list[float] = []
+        for agg in self.shards:
+            all_issues.extend(agg.issues)
+            all_completions.extend(agg.completions)
+        all_issues.sort()
+        all_completions.sort()
+        outstanding = peak = 0
+        j = 0
+        n_completions = len(all_completions)
+        for issue in all_issues:
+            while j < n_completions and all_completions[j] <= issue:
+                outstanding -= 1
+                j += 1
+            outstanding += 1
+            if outstanding > peak:
+                peak = outstanding
+        return peak
+
+    def outstanding_at(self, shard: int, times) -> list[int]:
+        """Queue depth of ``shard`` (in-flight requests) at each sample
+        time (issues counted inclusively, completions exclusively)."""
+        agg = self.shards[shard]
+        np = _numpy()
+        if np is not None:
+            issues = np.sort(np.frombuffer(agg.issues, dtype=np.float64))
+            comps = np.sort(np.frombuffer(agg.completions, dtype=np.float64))
+            t = np.asarray(times, dtype=np.float64)
+            depth = np.searchsorted(issues, t, side="right") - np.searchsorted(
+                comps, t, side="right"
+            )
+            return [int(d) for d in depth]
+        from bisect import bisect_right
+
+        issues = sorted(agg.issues)
+        comps = sorted(agg.completions)
+        return [
+            bisect_right(issues, t) - bisect_right(comps, t) for t in times
+        ]
+
+
+# --------------------------------------------------------------------------- #
+# Streaming replay drivers
+# --------------------------------------------------------------------------- #
+
+def _counted(agg: _StreamAggregator, stream: "TraceStream") -> Iterator["Trace"]:
+    """Iterate non-empty chunks, counting every trace row into ``agg``."""
+    for chunk in stream:
+        agg.trace_requests += len(chunk)
+        if len(chunk):
+            yield chunk
+
+
+def _as_stream(chunks, require_ordered: bool) -> TraceStream:
+    if isinstance(chunks, TraceStream):
+        return chunks
+    if isinstance(chunks, Trace):
+        return TraceStream.from_trace(chunks, require_ordered=require_ordered)
+    return TraceStream(chunks, require_ordered=require_ordered)
+
+
+def _kernel_gate(engine: "TraceReplayEngine"):
+    """Stream-wide kernel availability: ``(np, reason)``.
+
+    The warm-cache refusal of the one-shot kernels is deliberately *not*
+    checked here -- chunk continuation runs with warm caches by design and
+    guards each chunk with the dynamic ``warm_cache_clean`` gate instead.
+    """
+    from .kernel import fleet_eligibility
+
+    if engine.fast is not None and not engine.fast:
+        return None, "fast disabled"
+    np = _numpy()
+    if np is None:
+        return None, "numpy unavailable"
+    reason = fleet_eligibility(engine.fleet, True)
+    if reason is not None:
+        return None, reason
+    return np, None
+
+
+def _chunk_shard_columns(np, fleet: "LbnRangeShard", chunk: "Trace"):
+    """Kernel-eligible per-shard columns for one chunk, or a refusal.
+
+    Mirrors the one-shot kernels' per-trace validation, plus the dynamic
+    warm-cache gate that lets later chunks keep using the kernel after
+    earlier chunks warmed the firmware caches."""
+    from .kernel import (
+        _cache_sensitive,
+        shard_split,
+        trace_columns,
+        warm_cache_clean,
+    )
+
+    columns, reason = trace_columns(np, fleet, chunk)
+    if reason is not None:
+        return None, reason
+    lbns, counts, issue, is_read = columns
+    shard_cols, reason = shard_split(np, fleet, lbns, counts, issue, is_read)
+    if reason is not None:
+        return None, reason
+    for (s_lbns, s_counts, s_issue, s_read), drive in zip(
+        shard_cols, fleet.drives
+    ):
+        if _cache_sensitive(np, drive.cache, s_lbns, s_counts, s_read):
+            return None, "firmware-cache-sensitive reuse"
+        if not warm_cache_clean(np, drive.cache, s_lbns, s_read):
+            return None, "firmware-cache-sensitive reuse"
+    return shard_cols, None
+
+
+def _finish(engine, agg, kernel_chunks, scalar_chunks, kernel_path, reason):
+    stats = agg.finalize()
+    if kernel_chunks and scalar_chunks:
+        engine.last_replay_path = "mixed"
+    elif kernel_chunks:
+        engine.last_replay_path = kernel_path
+    else:
+        engine.last_replay_path = "scalar"
+    if kernel_chunks:
+        engine.last_fast_reason = "ok"
+    else:
+        engine.last_fast_reason = reason if reason is not None else "ok"
+    return stats, agg
+
+
+def _stream_open_fcfs(
+    engine: "TraceReplayEngine", stream: TraceStream, reset: bool
+):
+    """Open FCFS streaming: per-chunk kernel service with fold carry,
+    per-chunk scalar ``submit_batch`` fallback (bitwise-safe mixing)."""
+    from .kernel import _service_shard
+
+    fleet = engine.fleet
+    if reset:
+        fleet.reset()
+    np, first_refusal = _kernel_gate(engine)
+    agg = _StreamAggregator(fleet, "open")
+    kernel_chunks = scalar_chunks = 0
+    for chunk in _counted(agg, stream):
+        shard_cols = None
+        if np is not None:
+            shard_cols, reason = _chunk_shard_columns(np, fleet, chunk)
+            if shard_cols is None and first_refusal is None:
+                first_refusal = reason
+        if shard_cols is not None:
+            kernel_chunks += 1
+            fleet.routed_requests += len(chunk)
+            for shard, ((s_lbns, s_counts, s_issue, s_read), drive) in enumerate(
+                zip(shard_cols, fleet.drives)
+            ):
+                if not int(s_lbns.shape[0]):
+                    continue
+                sh = agg.shards[shard]
+                out = _service_shard(
+                    np, drive, s_lbns, s_counts, s_issue, s_read,
+                    latency_start=sh.latency,
+                    overlap_start=sh.overlap,
+                    busy_start=sh.busy,
+                )
+                agg.add_kernel(shard, out)
+            continue
+        scalar_chunks += 1
+        shard_ops, shard_lbns, shard_counts, shard_times = engine._route_open(
+            chunk
+        )
+        batch = engine.batch_size
+        for shard, drive in enumerate(fleet.drives):
+            ops = shard_ops[shard]
+            if not ops:
+                continue
+            result = BatchResult()
+            for lo in range(0, len(ops), batch):
+                hi = lo + batch
+                drive.submit_batch(
+                    ops[lo:hi],
+                    shard_lbns[shard][lo:hi],
+                    shard_counts[shard][lo:hi],
+                    shard_times[shard][lo:hi],
+                    out=result,
+                )
+            agg.add_scalar(shard, result)
+    return _finish(
+        engine, agg, kernel_chunks, scalar_chunks, "kernel", first_refusal
+    )
+
+
+def _stream_closed_fcfs(
+    engine: "TraceReplayEngine",
+    stream: TraceStream,
+    think_ms: float,
+    reset: bool,
+):
+    """Closed FCFS depth-1 (onereq) streaming with a carried per-shard
+    clock; kernel chunks via the scheduled kernel, scalar chunks via the
+    exact per-shard sequential loop (the event heap of the one-shot path
+    only interleaves shards and cannot change per-shard results)."""
+    from .kernel import _service_shard_sched
+
+    fleet = engine.fleet
+    if reset:
+        fleet.reset()
+    np, first_refusal = _kernel_gate(engine)
+    agg = _StreamAggregator(fleet, "closed")
+    now = [0.0] * len(fleet.drives)
+    kernel_chunks = scalar_chunks = 0
+    for chunk in _counted(agg, stream):
+        shard_cols = None
+        if np is not None:
+            shard_cols, reason = _chunk_shard_columns(np, fleet, chunk)
+            if shard_cols is None and first_refusal is None:
+                first_refusal = reason
+        if shard_cols is not None:
+            kernel_chunks += 1
+            fleet.routed_requests += len(chunk)
+            for shard, ((s_lbns, s_counts, s_issue, s_read), drive) in enumerate(
+                zip(shard_cols, fleet.drives)
+            ):
+                if not int(s_lbns.shape[0]):
+                    continue
+                sh = agg.shards[shard]
+                sched = engine.scheduler.clone()
+                sched.kernel_reset()
+                out, _forced, shard_now = _service_shard_sched(
+                    np, drive, sched, s_lbns, s_counts, s_issue, s_read,
+                    "closed", 1, think_ms,
+                    latency_start=sh.latency,
+                    overlap_start=sh.overlap,
+                    busy_start=sh.busy,
+                    now_start=now[shard],
+                )
+                now[shard] = shard_now
+                agg.add_kernel(shard, out)
+            continue
+        scalar_chunks += 1
+        queues = engine._route_closed(chunk)
+        for shard, drive in enumerate(fleet.drives):
+            queue = queues[shard]
+            if not queue:
+                continue
+            result = BatchResult()
+            t = now[shard]
+            for op, lbn, count in queue:
+                done = drive.submit(DiskRequest(op, lbn, count), t)
+                result.append_completed(done)
+                t = done.completion + think_ms
+            now[shard] = t
+            agg.add_scalar(shard, result)
+    return _finish(
+        engine, agg, kernel_chunks, scalar_chunks, "kernel_sched", first_refusal
+    )
+
+
+#: Refusal reason reported when a scheduled (non-FCFS or deep-queue)
+#: replay streams through the exact scalar queue loops: the scheduled
+#: kernel's pending-queue state cannot be carried across chunk columns.
+SCHED_STREAM_REASON = "scheduler not chunk-vectorizable"
+
+
+def _stream_open_scheduled(
+    engine: "TraceReplayEngine", stream: TraceStream, reset: bool
+):
+    """Open scheduled streaming: exact scalar queue loops with persistent
+    per-drive schedulers and one-chunk lookahead.
+
+    The one-shot loop (``_replay_open_scheduled``) admits every request
+    that has arrived by each dispatch decision.  Streaming defers any
+    decision at or beyond the next chunk's first timestamp (``horizon``)
+    until that chunk has been buffered: recomputing the decision time after
+    appending rows provably yields the same value (the pending queue and
+    the buffer head are unchanged), so admission sets -- and therefore
+    dispatch order -- match the one-shot loop exactly."""
+    fleet = engine.fleet
+    if reset:
+        fleet.reset()
+    agg = _StreamAggregator(fleet, "open")
+    n_shards = len(fleet.drives)
+    scheds = [engine.scheduler.clone() for _ in range(n_shards)]
+    buf_ops: list[list] = [[] for _ in range(n_shards)]
+    buf_lbns: list[list] = [[] for _ in range(n_shards)]
+    buf_counts: list[list] = [[] for _ in range(n_shards)]
+    buf_times: list[list] = [[] for _ in range(n_shards)]
+    for drive, sched in zip(fleet.drives, scheds):
+        drive.attach_scheduler(sched)
+    try:
+        chunks = _counted(agg, stream)
+        current = next(chunks, None)
+        while current is not None:
+            nxt = next(chunks, None)
+            final = nxt is None
+            horizon = float("inf") if final else nxt.issue_ms[0]
+            shard_ops, shard_lbns, shard_counts, shard_times = (
+                engine._route_open(current)
+            )
+            for s in range(n_shards):
+                buf_ops[s].extend(shard_ops[s])
+                buf_lbns[s].extend(shard_lbns[s])
+                buf_counts[s].extend(shard_counts[s])
+                buf_times[s].extend(shard_times[s])
+            for s, drive in enumerate(fleet.drives):
+                sched = scheds[s]
+                ops = buf_ops[s]
+                lbns = buf_lbns[s]
+                counts = buf_counts[s]
+                times = buf_times[s]
+                n = len(ops)
+                i = 0
+                result = BatchResult()
+                enqueue = drive.enqueue
+                while i < n or len(sched):
+                    if len(sched) == 0:
+                        if i >= n:
+                            break  # wait for later chunks
+                        now = times[i]
+                        if drive.actuator_free > now:
+                            now = drive.actuator_free
+                    else:
+                        now = drive.actuator_free
+                    if not final and now >= horizon:
+                        # A later chunk may hold a request that arrives by
+                        # ``now``; defer this dispatch until it is buffered.
+                        break
+                    while i < n and times[i] <= now:
+                        enqueue(DiskRequest(ops[i], lbns[i], counts[i]), times[i])
+                        i += 1
+                    done = drive.dispatch_next(now)
+                    result.append_completed(done)
+                if i:
+                    del ops[:i], lbns[:i], counts[:i], times[:i]
+                agg.add_scalar(s, result)
+            current = nxt
+        forced = sum(sched.forced_dispatches for sched in scheds)
+    finally:
+        for drive in fleet.drives:
+            drive.attach_scheduler(None)
+    engine.last_replay_path = "scalar"
+    engine.last_fast_reason = (
+        "fast disabled"
+        if engine.fast is not None and not engine.fast
+        else SCHED_STREAM_REASON
+    )
+    stats = agg.finalize()
+    stats.extras["forced_dispatches"] = float(forced)
+    return stats, agg
+
+
+def _stream_closed_scheduled(
+    engine: "TraceReplayEngine",
+    stream: TraceStream,
+    think_ms: float,
+    reset: bool,
+):
+    """Closed scheduled streaming (non-FCFS policy or depth > 1): exact
+    scalar queue loops with persistent per-drive schedulers.
+
+    The one-shot loop (``_replay_closed_scheduled``) alternates dispatch
+    and admission strictly after the initial depth-filling phase.  At a
+    chunk boundary the loop breaks *before* the next dispatch whenever an
+    admission is owed but the row lives in a later chunk, so the pending
+    queue always holds exactly what the one-shot loop would hold."""
+    fleet = engine.fleet
+    if reset:
+        fleet.reset()
+    agg = _StreamAggregator(fleet, "closed")
+    n_shards = len(fleet.drives)
+    depth = engine.queue_depth
+    scheds = [engine.scheduler.clone() for _ in range(n_shards)]
+    buffers: list[list[tuple[str, int, int]]] = [[] for _ in range(n_shards)]
+    now = [0.0] * n_shards
+    filling = [True] * n_shards
+    owed = [False] * n_shards
+    for drive, sched in zip(fleet.drives, scheds):
+        drive.attach_scheduler(sched)
+    try:
+        chunks = _counted(agg, stream)
+        current = next(chunks, None)
+        while current is not None:
+            nxt = next(chunks, None)
+            final = nxt is None
+            queues = engine._route_closed(current)
+            for s in range(n_shards):
+                buffers[s].extend(queues[s])
+            for s, drive in enumerate(fleet.drives):
+                sched = scheds[s]
+                rows = buffers[s]
+                i = 0
+                n = len(rows)
+                enqueue = drive.enqueue
+                result = BatchResult()
+                if filling[s]:
+                    while i < n and len(sched) < depth:
+                        op, lbn, count = rows[i]
+                        enqueue(DiskRequest(op, lbn, count), now[s])
+                        i += 1
+                    if len(sched) < depth and not final:
+                        # The fill may complete with later chunks' rows.
+                        del rows[:i]
+                        continue
+                    filling[s] = False
+                if owed[s]:
+                    if i < n:
+                        op, lbn, count = rows[i]
+                        enqueue(DiskRequest(op, lbn, count), now[s])
+                        i += 1
+                        owed[s] = False
+                    elif not final:
+                        # The owed row is still in a later chunk; no
+                        # dispatch may happen before it is admitted.
+                        continue
+                    else:
+                        owed[s] = False  # stream over: drain what is queued
+                while len(sched):
+                    decision = drive.actuator_free
+                    if now[s] > decision:
+                        decision = now[s]
+                    done = drive.dispatch_next(decision)
+                    result.append_completed(done)
+                    now[s] = done.completion + think_ms
+                    if i < n:
+                        op, lbn, count = rows[i]
+                        enqueue(DiskRequest(op, lbn, count), now[s])
+                        i += 1
+                    elif not final:
+                        # The admission owed here lives in a later chunk;
+                        # perform it before the next dispatch.
+                        owed[s] = True
+                        break
+                del rows[:i]
+                agg.add_scalar(s, result)
+            current = nxt
+        forced = sum(sched.forced_dispatches for sched in scheds)
+    finally:
+        for drive in fleet.drives:
+            drive.attach_scheduler(None)
+    engine.last_replay_path = "scalar"
+    engine.last_fast_reason = (
+        "fast disabled"
+        if engine.fast is not None and not engine.fast
+        else SCHED_STREAM_REASON
+    )
+    stats = agg.finalize()
+    stats.extras["forced_dispatches"] = float(forced)
+    return stats, agg
+
+
+def _dispatch_open(engine: "TraceReplayEngine", stream: TraceStream, reset: bool):
+    if engine.scheduler_name != "fcfs":
+        return _stream_open_scheduled(engine, stream, reset)
+    return _stream_open_fcfs(engine, stream, reset)
+
+
+def replay_stream(
+    engine: "TraceReplayEngine", chunks, reset: bool = True
+) -> "ReplayStats":
+    """Open streaming replay (see :meth:`TraceReplayEngine.replay_stream`)."""
+    stream = _as_stream(chunks, require_ordered=True)
+    stats, _agg = _dispatch_open(engine, stream, reset)
+    return stats
+
+
+def replay_closed_stream(
+    engine: "TraceReplayEngine",
+    chunks,
+    think_ms: float = 0.0,
+    reset: bool = True,
+) -> "ReplayStats":
+    """Closed streaming replay (see
+    :meth:`TraceReplayEngine.replay_closed_stream`)."""
+    stream = _as_stream(chunks, require_ordered=False)
+    if engine.scheduler_name != "fcfs" or engine.queue_depth > 1:
+        stats, _agg = _stream_closed_scheduled(engine, stream, think_ms, reset)
+    else:
+        stats, _agg = _stream_closed_fcfs(engine, stream, think_ms, reset)
+    return stats
+
+
+# --------------------------------------------------------------------------- #
+# The open-loop storage-service scenario
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class ServiceStats:
+    """Outcome of an open-loop storage-service run.
+
+    Wraps the bitwise-exact :class:`ReplayStats` of the underlying
+    streamed replay and adds the service-level view: tail response times,
+    SLO violations, saturation throughput (open-loop extrapolation of the
+    achieved throughput to 100% utilization of the busiest drive) and a
+    bounded per-drive queue-depth time series.
+    """
+
+    replay: "ReplayStats"
+    slo_ms: float
+    slo_violations: int
+    slo_violation_fraction: float
+    saturation_rps: float
+    queue_depth_times_ms: list[float]
+    queue_depth_per_drive: list[list[int]]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def requests(self) -> int:
+        return self.replay.issued_requests
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.replay.requests_per_second
+
+    @property
+    def mean_response_ms(self) -> float:
+        return self.replay.response["mean"]
+
+    @property
+    def p50_ms(self) -> float:
+        return self.replay.response["p50"]
+
+    @property
+    def p99_ms(self) -> float:
+        return self.replay.response["p99"]
+
+    @property
+    def p999_ms(self) -> float:
+        return self.replay.response["p999"]
+
+    @property
+    def max_response_ms(self) -> float:
+        return self.replay.response["max"]
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "throughput_rps": self.throughput_rps,
+            "saturation_rps": self.saturation_rps,
+            "slo_ms": self.slo_ms,
+            "slo_violations": self.slo_violations,
+            "slo_violation_fraction": self.slo_violation_fraction,
+            "response_p50_ms": self.p50_ms,
+            "response_p99_ms": self.p99_ms,
+            "response_p999_ms": self.p999_ms,
+            "response_mean_ms": self.mean_response_ms,
+            "response_max_ms": self.max_response_ms,
+            "queue_depth_times_ms": list(self.queue_depth_times_ms),
+            "queue_depth_per_drive": [
+                list(series) for series in self.queue_depth_per_drive
+            ],
+            "replay": self.replay.to_dict(),
+        }
+
+
+def run_service(
+    engine: "TraceReplayEngine",
+    chunks,
+    slo_ms: float = 50.0,
+    queue_samples: int = 64,
+    reset: bool = True,
+) -> ServiceStats:
+    """Drive ``engine``'s fleet under sustained open-loop load.
+
+    ``chunks`` is a :class:`TraceStream` (or any iterable of trace chunks),
+    typically produced by an arrival-process generator from
+    :mod:`repro.workloads.arrivals`.  The replay itself is the
+    bitwise-exact open streaming replay; the service-level statistics are
+    derived from its response/outstanding event streams.
+    """
+    if slo_ms <= 0.0:
+        raise ConfigError("slo_ms must be positive")
+    if queue_samples <= 0:
+        raise ConfigError("queue_samples must be positive")
+    stream = _as_stream(chunks, require_ordered=True)
+    stats, agg = _dispatch_open(engine, stream, reset)
+    fleet = engine.fleet
+
+    # ---- SLO violations ------------------------------------------------ #
+    np = _numpy()
+    violations = 0
+    for resp in agg.response_columns():
+        if np is not None:
+            violations += int((resp > slo_ms).sum())
+        else:
+            violations += sum(1 for r in resp if r > slo_ms)
+    fraction = violations / stats.issued_requests
+
+    # ---- saturation throughput ----------------------------------------- #
+    max_util = 0.0
+    for entry in stats.per_drive:
+        if entry["utilization"] > max_util:
+            max_util = entry["utilization"]
+    saturation = (
+        stats.requests_per_second / max_util if max_util > 0.0 else 0.0
+    )
+
+    # ---- per-drive queue-depth time series ------------------------------ #
+    span = stats.makespan_ms
+    if queue_samples == 1 or span <= 0.0:
+        times = [stats.start_ms]
+    else:
+        step = span / (queue_samples - 1)
+        times = [stats.start_ms + k * step for k in range(queue_samples)]
+    per_drive = [
+        agg.outstanding_at(shard, times) for shard in range(len(fleet.drives))
+    ]
+
+    return ServiceStats(
+        replay=stats,
+        slo_ms=slo_ms,
+        slo_violations=violations,
+        slo_violation_fraction=fraction,
+        saturation_rps=saturation,
+        queue_depth_times_ms=times,
+        queue_depth_per_drive=per_drive,
+    )
+
+
+__all__ = [
+    "DEFAULT_CHUNK_REQUESTS",
+    "SCHED_STREAM_REASON",
+    "ServiceStats",
+    "TraceStream",
+    "replay_closed_stream",
+    "replay_stream",
+    "run_service",
+]

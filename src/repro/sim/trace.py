@@ -168,6 +168,30 @@ class Trace:
             self.ops[start:stop],
         )
 
+    def iter_chunks(self, chunk_requests: int = 65536) -> Iterator["Trace"]:
+        """Yield the trace as consecutive bounded slices (same schema).
+
+        This is the bridge between one-shot traces and the streaming replay
+        path (:mod:`repro.sim.stream`): ``Trace.from_chunks(t.iter_chunks(k))``
+        reassembles ``t`` exactly for every chunk size, and streamed replay of
+        the chunks is bitwise-identical to one-shot replay of ``t``.
+        """
+        if chunk_requests <= 0:
+            raise RequestError("chunk_requests must be positive")
+        for start in range(0, len(self), chunk_requests):
+            yield self.slice(start, start + chunk_requests)
+
+    @classmethod
+    def from_chunks(cls, chunks: Iterable["Trace"]) -> "Trace":
+        """Assemble one trace by concatenating chunk traces in order."""
+        trace = cls()
+        for chunk in chunks:
+            trace.issue_ms.extend(chunk.issue_ms)
+            trace.lbns.extend(chunk.lbns)
+            trace.counts.extend(chunk.counts)
+            trace.ops.extend(chunk.ops)
+        return trace
+
     def aligned_fraction(self, geometry: "DiskGeometry") -> float:
         """Fraction of requests that exactly cover one whole track (uses the
         vectorized translation cache)."""

@@ -7,6 +7,21 @@ macro-workloads via :func:`filebench_to_trace`, and the small-file
 benchmarks via :meth:`Postmark.to_trace` / :meth:`SshBuild.to_trace`.
 """
 
+from .arrivals import (
+    ARRIVALS,
+    BurstyArrivals,
+    BurstyConfig,
+    DiurnalArrivals,
+    DiurnalConfig,
+    MultiClientArrivals,
+    MultiClientConfig,
+    PoissonArrivals,
+    PoissonConfig,
+    arrival_config,
+    arrival_stream,
+    available_arrivals,
+    get_arrival,
+)
 from .filebench import (
     Filebench,
     FilebenchConfig,
@@ -29,9 +44,22 @@ from .synthetic import to_trace as synthetic_to_trace
 GENERATORS = (Filebench, Postmark, SshBuild, Synthetic)
 
 __all__ = [
+    "ARRIVALS",
+    "BurstyArrivals",
+    "BurstyConfig",
+    "DiurnalArrivals",
+    "DiurnalConfig",
     "Filebench",
     "FilebenchConfig",
     "GENERATORS",
+    "MultiClientArrivals",
+    "MultiClientConfig",
+    "PoissonArrivals",
+    "PoissonConfig",
+    "arrival_config",
+    "arrival_stream",
+    "available_arrivals",
+    "get_arrival",
     "Postmark",
     "PostmarkConfig",
     "PostmarkResult",

@@ -305,7 +305,9 @@ def test_replay_stats_shape(medium_specs):
     payload = stats.to_dict()
     assert payload["requests_per_second"] > 0
     assert 0.0 < payload["efficiency"] <= 1.0
-    assert set(payload["response"]) == {"mean", "min", "max", "p50", "p90", "p95", "p99"}
+    assert set(payload["response"]) == {
+        "mean", "min", "max", "p50", "p90", "p95", "p99", "p999",
+    }
     assert payload["breakdown"]["media_transfer_ms"] > 0
     assert len(payload["per_drive"]) == 1
     assert payload["per_drive"][0]["requests"] == 500
