@@ -34,13 +34,17 @@ from .api import (
     Comparison,
     ConfigError,
     DriveConfig,
+    DriveFaultConfig,
+    FaultConfig,
     FleetConfig,
     ResultStore,
     RunResult,
     Scenario,
     ScenarioConfig,
+    TransientFaultConfig,
     UnknownWorkloadError,
     WorkloadConfig,
+    available_fault_kinds,
     available_workloads,
     build_drive,
     build_fleet,
@@ -67,7 +71,7 @@ from .disksim import (
 )
 from .sim import LbnRangeShard, ReplayStats, Trace, TraceRecordingDrive, TraceReplayEngine
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Campaign",
@@ -78,6 +82,8 @@ __all__ = [
     "DiskDrive",
     "DiskRequest",
     "DriveConfig",
+    "DriveFaultConfig",
+    "FaultConfig",
     "FleetConfig",
     "LbnRangeShard",
     "ReplayStats",
@@ -89,9 +95,11 @@ __all__ = [
     "Scheduler",
     "TraceRecordingDrive",
     "TraceReplayEngine",
+    "TransientFaultConfig",
     "UnknownWorkloadError",
     "WorkloadConfig",
     "__version__",
+    "available_fault_kinds",
     "available_schedulers",
     "available_workloads",
     "build_drive",

@@ -39,6 +39,14 @@ from .campaign import (
     run_campaign,
     scenario_hash,
 )
+from ..faults import (
+    DriveFaultConfig,
+    FaultConfig,
+    GrownDefectConfig,
+    SlowdownConfig,
+    TransientFaultConfig,
+    available_fault_kinds,
+)
 from .config import (
     ConfigError,
     DriveConfig,
@@ -82,7 +90,10 @@ __all__ = [
     "Comparison",
     "ConfigError",
     "DriveConfig",
+    "DriveFaultConfig",
+    "FaultConfig",
     "FleetConfig",
+    "GrownDefectConfig",
     "ProcessExecutor",
     "RawFileConfig",
     "RawTraceConfig",
@@ -92,8 +103,11 @@ __all__ = [
     "ScenarioConfig",
     "SequentialConfig",
     "SerialExecutor",
+    "SlowdownConfig",
+    "TransientFaultConfig",
     "UnknownWorkloadError",
     "WorkloadConfig",
+    "available_fault_kinds",
     "available_workloads",
     "build_drive",
     "build_fleet",

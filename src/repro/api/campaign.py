@@ -47,6 +47,9 @@ import hashlib
 import itertools
 import json
 import multiprocessing
+import time
+import traceback
+from concurrent import futures as cf
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Any, Callable, Iterator, Mapping, Sequence
@@ -253,6 +256,55 @@ class CampaignConfig:
 # Executors (the pluggable fan-out seam)
 # --------------------------------------------------------------------------- #
 
+#: Reserved payload key carrying the point's scenario hash to workers, so a
+#: failure report can name the point that produced it (popped before config
+#: validation; never hashed).
+HASH_PAYLOAD_KEY = "__hash__"
+
+#: Key under which a worker reports a structured failure instead of a
+#: result payload.
+FAILURE_PAYLOAD_KEY = "__failed__"
+
+
+def run_scenario_payload_safe(data: Mapping[str, Any]) -> dict[str, Any]:
+    """Run one scenario payload, converting exceptions to failure payloads.
+
+    This is what campaign executors actually map: a worker that raises
+    (bad config reaching the sim layer, a workload bug) reports a
+    structured ``{"__failed__": {...}}`` payload -- with the originating
+    scenario hash and full traceback -- instead of poisoning the whole
+    campaign.  Hard crashes (killed/segfaulted workers) cannot report
+    anything and are detected by :class:`ProcessExecutor` instead.
+    """
+    data = dict(data)
+    digest = data.pop(HASH_PAYLOAD_KEY, None)
+    try:
+        return run_scenario_payload(data)
+    except Exception as exc:
+        return {
+            FAILURE_PAYLOAD_KEY: {
+                "kind": "exception",
+                "error": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+                "hash": digest,
+            }
+        }
+
+
+def _failure_payload(
+    item: Mapping[str, Any], failure: dict[str, Any], attempts: int
+) -> dict[str, Any]:
+    """A structured failure payload for a point the executor gave up on."""
+    return {
+        FAILURE_PAYLOAD_KEY: {
+            **failure,
+            "hash": item.get(HASH_PAYLOAD_KEY),
+            "attempts": attempts,
+        }
+    }
+
+
 class SerialExecutor:
     """Run scenario payloads one after another in this process."""
 
@@ -267,18 +319,46 @@ class SerialExecutor:
 
 
 class ProcessExecutor:
-    """Fan scenario payloads out over a ``multiprocessing`` pool.
+    """Fan scenario payloads out over a crash-tolerant process pool.
 
     Uses the ``spawn`` start method so worker processes behave identically
     on every platform.  Results come back in submission order, and because
     scenarios are fully described by their config dicts (seeds included),
     the output is bitwise-identical to :class:`SerialExecutor`.
+
+    Unlike a bare ``multiprocessing.Pool``, the executor survives its
+    workers: points are dispatched in waves of at most ``workers`` (so
+    every in-flight point is actually running, which is what makes a
+    per-point ``timeout_s`` meaningful), and a point whose worker is
+    killed (crash), or that exceeds the timeout (hung worker: the process
+    is killed and the pool rebuilt), is retried up to ``retries`` times
+    with a ``backoff_s`` pause.  A point that keeps failing becomes a
+    structured ``{"__failed__": ...}`` payload instead of an exception, so
+    one bad point cannot sink a thousand-point campaign.  Worker-raised
+    exceptions are *not* retried -- they are deterministic, and
+    :func:`run_scenario_payload_safe` already reports them structurally.
     """
 
-    def __init__(self, workers: int):
+    def __init__(
+        self,
+        workers: int,
+        *,
+        timeout_s: float | None = None,
+        retries: int = 1,
+        backoff_s: float = 0.5,
+    ):
         if workers <= 0:
             raise ConfigError("workers must be positive")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigError("timeout_s must be positive (or None)")
+        if retries < 0:
+            raise ConfigError("retries must be >= 0")
+        if backoff_s < 0:
+            raise ConfigError("backoff_s must be >= 0")
         self.workers = workers
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
 
     def map(
         self,
@@ -288,9 +368,99 @@ class ProcessExecutor:
         items = list(items)
         if not items:
             return []
+        results: list[dict[str, Any] | None] = [None] * len(items)
+        attempts = [0] * len(items)
+        pending = list(range(len(items)))
+        width = min(self.workers, len(items))
         context = multiprocessing.get_context("spawn")
-        with context.Pool(min(self.workers, len(items))) as pool:
-            return pool.map(fn, items)
+        pool: cf.ProcessPoolExecutor | None = None
+
+        def requeue(index: int, failure: dict[str, Any], retry: list[int]) -> None:
+            attempts[index] += 1
+            if attempts[index] <= self.retries:
+                retry.append(index)
+            else:
+                results[index] = _failure_payload(
+                    items[index], failure, attempts[index]
+                )
+
+        try:
+            while pending:
+                if pool is None:
+                    pool = cf.ProcessPoolExecutor(
+                        max_workers=width, mp_context=context
+                    )
+                wave, pending = pending[:width], pending[width:]
+                futures = {pool.submit(fn, items[i]): i for i in wave}
+                done, hung = cf.wait(futures, timeout=self.timeout_s)
+                retry: list[int] = []
+                broken = False
+                for future in done:
+                    index = futures[future]
+                    error = future.exception()
+                    if error is None:
+                        results[index] = future.result()
+                    else:
+                        # BrokenProcessPool: some worker died mid-wave.
+                        # We cannot tell which point killed it, so every
+                        # unfinished point of the wave is retried; the
+                        # true culprit fails again and exhausts its
+                        # retries, innocents complete on the next wave.
+                        broken = True
+                        requeue(
+                            index,
+                            {
+                                "kind": "crash",
+                                "error": type(error).__name__,
+                                "message": str(error) or "worker process died",
+                            },
+                            retry,
+                        )
+                if hung:
+                    broken = True
+                    for proc in list(getattr(pool, "_processes", {}).values()):
+                        proc.kill()
+                    for future in hung:
+                        requeue(
+                            futures[future],
+                            {
+                                "kind": "timeout",
+                                "error": "TimeoutError",
+                                "message": (
+                                    f"point still running after "
+                                    f"{self.timeout_s}s; worker killed"
+                                ),
+                            },
+                            retry,
+                        )
+                if broken:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+                if retry:
+                    if self.backoff_s > 0:
+                        time.sleep(
+                            self.backoff_s * max(attempts[i] for i in retry)
+                        )
+                    pending = retry + pending
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        # Every index is either a result or a failure payload by now; a
+        # lost point would misalign the campaign's zip, so fail it loudly.
+        return [
+            payload
+            if payload is not None
+            else _failure_payload(
+                items[index],
+                {
+                    "kind": "lost",
+                    "error": "RuntimeError",
+                    "message": "executor lost track of this point",
+                },
+                attempts[index],
+            )
+            for index, payload in enumerate(results)
+        ]
 
 
 # --------------------------------------------------------------------------- #
@@ -299,11 +469,21 @@ class ProcessExecutor:
 
 @dataclass
 class CampaignRun:
-    """One executed (or cache-served) campaign point."""
+    """One executed (or cache-served) campaign point.
+
+    A point whose worker failed (raised, crashed, or timed out past its
+    retry budget) carries a structured ``failure`` dict instead of a
+    result payload; its ``payload`` is empty and :attr:`result` refuses.
+    """
 
     point: CampaignPoint
     payload: dict[str, Any]
     cached: bool
+    failure: dict[str, Any] | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
 
     @property
     def index(self) -> int:
@@ -324,6 +504,11 @@ class CampaignRun:
     @cached_property
     def result(self) -> RunResult:
         """The payload rehydrated as a typed :class:`RunResult`."""
+        if self.failure is not None:
+            raise ConfigError(
+                f"point {self.point.index} ({self.point.hash}) failed: "
+                f"{self.failure.get('error')}: {self.failure.get('message')}"
+            )
         return RunResult.from_dict(self.payload)
 
 
@@ -349,6 +534,11 @@ class CampaignResult:
     @property
     def executed(self) -> int:
         return len(self.runs) - self.cache_hits
+
+    @property
+    def failures(self) -> list[CampaignRun]:
+        """Points that failed (exception, crash, or timeout), in order."""
+        return [run for run in self.runs if run.failed]
 
     # ------------------------------------------------------------------ #
     # Selection
@@ -448,10 +638,14 @@ class CampaignResult:
     # ------------------------------------------------------------------ #
     def summary(self) -> str:
         """One-line execution report (what the CLI prints)."""
-        return (
+        line = (
             f"campaign {self.name!r}: {len(self.runs)} scenarios, "
             f"{self.cache_hits} cache hits, {self.executed} executed"
         )
+        failed = len(self.failures)
+        if failed:
+            line += f", {failed} FAILED"
+        return line
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable form (what ``python -m repro sweep --json`` emits)."""
@@ -460,6 +654,7 @@ class CampaignResult:
             "campaign": self.config.to_dict(),
             "cache_hits": self.cache_hits,
             "executed": self.executed,
+            "failed": len(self.failures),
             "points": [
                 {
                     "index": run.index,
@@ -468,6 +663,11 @@ class CampaignResult:
                     "cached": run.cached,
                     "scenario": run.config.to_dict(),
                     "result": dict(run.payload),
+                    **(
+                        {"failure": dict(run.failure)}
+                        if run.failure is not None
+                        else {}
+                    ),
                 }
                 for run in self.runs
             ],
@@ -486,6 +686,9 @@ def run_campaign(
     executor: SerialExecutor | ProcessExecutor | None = None,
     log: Callable[[str], None] | None = None,
     fast: bool | None = None,
+    timeout_s: float | None = None,
+    retries: int = 1,
+    backoff_s: float = 0.5,
 ) -> CampaignResult:
     """Expand a campaign and execute every point, reusing stored results.
 
@@ -499,6 +702,14 @@ def run_campaign(
     every point (and across worker processes).  It does not enter scenario
     hashes: replay results are bitwise identical with the kernel on or
     off, so reusing a stored record computed the other way is sound.
+
+    The campaign is crash-tolerant: a point whose worker raises, crashes,
+    or exceeds ``timeout_s`` (after ``retries`` retries with ``backoff_s``
+    backoff -- multi-process executor only) yields a structured failure
+    record instead of sinking the run.  Failures are persisted to the
+    store, so a resumed campaign deliberately *skips* known-bad points
+    (logged as such) rather than re-crashing on them; delete the record to
+    retry.  Timeout/retry knobs are execution policy, never hashed.
     """
     if workers < 1:
         raise ConfigError("workers must be positive")
@@ -507,28 +718,56 @@ def run_campaign(
     points = config.expand()
 
     cached_payloads: dict[int, dict[str, Any]] = {}
+    cached_failures: dict[int, dict[str, Any]] = {}
     pending: list[CampaignPoint] = []
     for point in points:
         record = store.get(point.hash) if store is not None else None
-        if record is not None:
+        if record is None:
+            pending.append(point)
+        elif "failure" in record:
+            cached_failures[point.index] = record["failure"]
+            if log is not None:
+                log(f"known bad  {point.hash}  {point.config.name}  (skipped)")
+        else:
             cached_payloads[point.index] = record["result"]
             if log is not None:
                 log(f"cache hit  {point.hash}  {point.config.name}")
-        else:
-            pending.append(point)
 
     if executor is None:
-        executor = SerialExecutor() if workers <= 1 else ProcessExecutor(workers)
+        executor = (
+            SerialExecutor()
+            if workers <= 1
+            else ProcessExecutor(
+                workers,
+                timeout_s=timeout_s,
+                retries=retries,
+                backoff_s=backoff_s,
+            )
+        )
     items = []
     for point in pending:
         item = point.config.to_dict()
+        item[HASH_PAYLOAD_KEY] = point.hash
         if fast is not None:
             item[FAST_PAYLOAD_KEY] = fast
         items.append(item)
-    payloads = executor.map(run_scenario_payload, items)
+    payloads = executor.map(run_scenario_payload_safe, items)
 
     runs_by_index: dict[int, CampaignRun] = {}
     for point, payload in zip(pending, payloads):
+        failure = payload.get(FAILURE_PAYLOAD_KEY)
+        if failure is not None:
+            if store is not None:
+                store.put_failure(point.hash, point.config, failure)
+            if log is not None:
+                log(
+                    f"FAILED     {point.hash}  {point.config.name}  "
+                    f"({failure.get('kind')}: {failure.get('error')})"
+                )
+            runs_by_index[point.index] = CampaignRun(
+                point, {}, cached=False, failure=failure
+            )
+            continue
         if store is not None:
             store.put(point.hash, point.config, payload)
         runs_by_index[point.index] = CampaignRun(point, payload, cached=False)
@@ -536,6 +775,10 @@ def run_campaign(
         if point.index in cached_payloads:
             runs_by_index[point.index] = CampaignRun(
                 point, cached_payloads[point.index], cached=True
+            )
+        elif point.index in cached_failures:
+            runs_by_index[point.index] = CampaignRun(
+                point, {}, cached=True, failure=cached_failures[point.index]
             )
 
     return CampaignResult(
@@ -641,6 +884,9 @@ class Campaign:
         executor: SerialExecutor | ProcessExecutor | None = None,
         log: Callable[[str], None] | None = None,
         fast: bool | None = None,
+        timeout_s: float | None = None,
+        retries: int = 1,
+        backoff_s: float = 0.5,
     ) -> CampaignResult:
         """Execute the campaign (see :func:`run_campaign`)."""
         return run_campaign(
@@ -650,6 +896,9 @@ class Campaign:
             executor=executor,
             log=log,
             fast=fast,
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_s=backoff_s,
         )
 
     def __len__(self) -> int:
@@ -668,8 +917,11 @@ __all__ = [
     "CampaignPoint",
     "CampaignResult",
     "CampaignRun",
+    "FAILURE_PAYLOAD_KEY",
+    "HASH_PAYLOAD_KEY",
     "ProcessExecutor",
     "SerialExecutor",
     "run_campaign",
+    "run_scenario_payload_safe",
     "scenario_hash",
 ]

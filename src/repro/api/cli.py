@@ -11,11 +11,15 @@ Subcommands:
   they differ only in the ``traxtent`` flag the traxtent win is printed
   directly (the paper's aligned-vs-unaligned experiment),
 * ``sweep campaign.json``     -- expand and run a declarative parameter
-  sweep; ``--workers N`` fans scenarios out over a process pool and
-  ``--store DIR`` makes the sweep resumable (completed points are logged
-  as cache hits and never recomputed),
-* ``list``                    -- registered workloads, drive models and
-  scheduling policies (``--json`` for the machine-readable registries).
+  sweep; ``--workers N`` fans scenarios out over a crash-tolerant process
+  pool (``--point-timeout``/``--retries`` bound hung and crashing
+  points) and ``--store DIR`` makes the sweep resumable (completed points
+  are logged as cache hits and never recomputed; failed points are
+  recorded and skipped).  Exit status 3 means the sweep completed but
+  some points failed,
+* ``list``                    -- registered workloads, drive models,
+  scheduling policies and fault models (``--json`` for the
+  machine-readable registries).
 """
 
 from __future__ import annotations
@@ -96,6 +100,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_out", metavar="PATH",
         help="also write the full campaign result as JSON ('-' for stdout)",
     )
+    sweep_cmd.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry any point still running after this long "
+        "(multi-worker sweeps only; hung workers are detected and killed)",
+    )
+    sweep_cmd.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="how many times a crashed or timed-out point is retried "
+        "before it is recorded as a structured failure (default: 1)",
+    )
     _add_fast_flag(sweep_cmd)
 
     list_cmd = sub.add_parser(
@@ -174,13 +188,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store=args.store,
         log=lambda message: print(message, file=sys.stderr),
         fast=_fast_value(args),
+        timeout_s=args.point_timeout,
+        retries=args.retries,
     )
     print(result.table())
     print()
     print(result.summary())
     if args.json_out:
         _emit_json(result.to_dict(), args.json_out)
-    return 0
+    return 0 if not result.failures else 3
 
 
 def _workload_entry(name: str) -> dict:
@@ -227,6 +243,7 @@ def _arrival_entry(name: str) -> dict:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    from ..faults import FAULT_KINDS
     from ..workloads.arrivals import available_arrivals
     from .config import KINDS
 
@@ -244,6 +261,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
             "arrivals": [
                 _arrival_entry(name) for name in available_arrivals()
             ],
+            "fault_models": [dict(kind) for kind in FAULT_KINDS],
         }
         print(json.dumps(payload, indent=2))
         return 0
@@ -266,6 +284,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
     for name in available_arrivals():
         entry = _arrival_entry(name)
         print(f"  {name:12s} {entry['description']}")
+    print("fault models (scenario 'faults' schedules):")
+    for entry in FAULT_KINDS:
+        print(f"  {entry['name']:12s} {entry['description']}")
     return 0
 
 

@@ -27,6 +27,7 @@ from typing import Any, Mapping
 # sim-layer validators (stream/importers) can raise it without importing the
 # api package; re-exported here because this module is its historical home.
 from ..disksim.errors import ConfigError
+from ..faults import FaultConfig
 
 #: Replay disciplines understood by :class:`ScenarioConfig`.
 MODES = ("open", "closed")
@@ -176,6 +177,13 @@ class ScenarioConfig:
     from :func:`repro.disksim.sched.available_schedulers` --
     ``starvation_ms``, ``queue_depth`` for closed replay, ``stripe``,
     ``stripe_seed`` and the execution-only ``fast`` switch).
+
+    ``faults`` optionally attaches a seeded per-drive fault schedule
+    (:class:`repro.faults.FaultConfig`) to ``replay`` and ``service``
+    scenarios.  It participates in ``scenario_hash`` -- but an empty
+    schedule normalizes to ``None`` at construction and ``to_dict`` omits
+    the key entirely when unset, so fault-free configs hash (and replay)
+    exactly as before the fault layer existed.
     """
 
     name: str = "scenario"
@@ -189,10 +197,19 @@ class ScenarioConfig:
     batch_size: int = 4096
     seed: int | None = None
     options: dict[str, Any] = field(default_factory=dict)
+    faults: FaultConfig | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ConfigError(f"unknown scenario kind {self.kind!r}; one of {KINDS}")
+        if self.faults is not None and not isinstance(self.faults, FaultConfig):
+            raise ConfigError(
+                f"faults must be a FaultConfig (or None): {self.faults!r}"
+            )
+        if self.faults is not None and self.faults.is_empty():
+            # An empty schedule is the same experiment as no schedule at
+            # all; normalize so both shapes share one scenario_hash.
+            object.__setattr__(self, "faults", None)
         if self.mode not in MODES:
             raise ConfigError(f"unknown replay mode {self.mode!r}; one of {MODES}")
         if self.batch_size <= 0:
@@ -206,7 +223,7 @@ class ScenarioConfig:
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data: dict[str, Any] = {
             "name": self.name,
             "kind": self.kind,
             "drive": self.drive.to_dict(),
@@ -219,6 +236,11 @@ class ScenarioConfig:
             "seed": self.seed,
             "options": dict(self.options),
         }
+        if self.faults is not None:
+            # Emitted only when set: fault-free configs keep their
+            # historical JSON shape and therefore their scenario_hash.
+            data["faults"] = self.faults.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioConfig":
@@ -228,7 +250,9 @@ class ScenarioConfig:
         fleet = data.pop("fleet", None)
         workload = data.pop("workload", None)
         options = data.pop("options", None)
+        faults = data.pop("faults", None)
         return cls(
+            faults=FaultConfig.from_dict(faults) if faults is not None else None,
             drive=DriveConfig.from_dict(drive) if drive is not None else DriveConfig(),
             fleet=FleetConfig.from_dict(fleet) if fleet is not None else FleetConfig(),
             workload=(

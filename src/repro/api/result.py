@@ -150,6 +150,13 @@ class RunResult:
             "response_p999_ms": stats.p999_ms,
             "peak_outstanding": float(stats.replay.peak_outstanding),
         }
+        if getattr(stats, "faulted", False):
+            # Degraded-mode metrics exist only when a fault schedule was
+            # attached; fault-free payloads keep their historical shape.
+            metrics["availability"] = stats.availability
+            metrics["error_fraction"] = stats.error_fraction
+            metrics["failed_requests"] = float(stats.failed_requests)
+            metrics["redirected_requests"] = float(stats.redirected_requests)
         details = {
             "slo_ms": stats.slo_ms,
             "slo_violations": stats.slo_violations,

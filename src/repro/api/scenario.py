@@ -33,6 +33,7 @@ from typing import Any, Mapping
 from ..core.efficiency import efficiency_curve
 from ..disksim.drive import DiskDrive
 from ..disksim.sched import get_scheduler
+from ..faults import FaultConfig, attach_fleet_faults
 from ..sim.engine import TraceReplayEngine
 from ..sim.shard import LbnRangeShard
 from ..sim.trace import Trace
@@ -90,8 +91,23 @@ def stripe_trace(trace: Trace, fleet: LbnRangeShard, seed: int = 43) -> Trace:
     return striped
 
 
+def _attach_faults(config: ScenarioConfig, fleet: LbnRangeShard) -> None:
+    """Arm the scenario's fault schedule (if any) on the freshly built fleet.
+
+    Spare drives (for ``spare: true`` fail-stop entries) are built from the
+    scenario's own drive config, so a redirected request sees identical
+    timing to the primary it replaces.
+    """
+    if config.faults is None:
+        return
+    attach_fleet_faults(
+        fleet, config.faults, spare_factory=lambda: build_drive(config.drive)
+    )
+
+
 def _run_replay(config: ScenarioConfig, fast: bool | None = None) -> RunResult:
     fleet = build_fleet(config.fleet, config.drive)
+    _attach_faults(config, fleet)
     trace = build_trace(config)
     if len(fleet) > 1 and _should_stripe(config, fleet, trace):
         trace = stripe_trace(
@@ -182,6 +198,14 @@ def _should_stripe(
 
 def _run_efficiency(config: ScenarioConfig) -> RunResult:
     drive = build_drive(config.drive)
+    if config.faults is not None:
+        # The efficiency sweep measures the drive's geometry, not a
+        # workload; a fault schedule would be silently ignored while still
+        # forking the scenario's content hash -- refuse instead.
+        raise ConfigError(
+            "faults apply to replay/service scenarios only; this scenario "
+            "has kind 'efficiency'"
+        )
     opts = config.options
     for knob in ("scheduler", "starvation_ms"):
         # These knobs would be silently ignored here while still forking
@@ -234,6 +258,7 @@ def _run_service(config: ScenarioConfig, fast: bool | None = None) -> RunResult:
             "service scenario queueing emerges from the arrival process"
         )
     fleet = build_fleet(config.fleet, config.drive)
+    _attach_faults(config, fleet)
     if fast is None:
         option = config.options.get("fast")
         fast = None if option is None else bool(option)
@@ -475,6 +500,18 @@ class Scenario:
         it is excluded from ``scenario_hash``.
         """
         return self.options(fast=enabled)
+
+    def faults(self, schedule: "FaultConfig | Mapping[str, Any] | None") -> "Scenario":
+        """Attach a seeded per-drive fault schedule (see :mod:`repro.faults`).
+
+        Accepts a :class:`~repro.faults.FaultConfig` or its plain-dict
+        form; ``None`` (or an empty schedule) removes fault injection.
+        Unlike :meth:`fast`, faults change what the scenario *measures*,
+        so the schedule enters ``scenario_hash``.
+        """
+        if schedule is not None and not isinstance(schedule, FaultConfig):
+            schedule = FaultConfig.from_dict(schedule)
+        return self._replace(faults=schedule)
 
     def service(
         self,

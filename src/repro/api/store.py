@@ -13,20 +13,32 @@ self-describing::
       "result":   { ...RunResult.to_dict()... }
     }
 
+Failed points get a record too (``"failure"`` instead of ``"result"``,
+see :meth:`ResultStore.put_failure`), which is what lets a resumed
+campaign deliberately skip a point that crashed its worker last time
+instead of re-crashing on it.
+
 Writes are atomic (temp file + ``os.replace``), so a campaign killed
-mid-write never leaves a truncated record behind; unreadable or
-foreign-schema files are treated as cache misses and recomputed.
+mid-write never leaves a truncated record behind.  An unparseable record
+(truncated by a crash mid-``os.replace`` on exotic filesystems, or
+hand-mangled) is quarantined: the file is renamed to
+``<hash>.json.corrupt``, a warning is logged, and the lookup is a miss --
+the point recomputes and the evidence survives for post-mortems.
+Parseable files with a foreign schema are plain misses, left in place.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Any, Mapping
 
 from .config import ScenarioConfig
 from .result import VOLATILE_DETAIL_KEYS
+
+logger = logging.getLogger(__name__)
 
 #: Record layout version written by :meth:`ResultStore.put`.
 SCHEMA_VERSION = 1
@@ -47,23 +59,57 @@ class ResultStore:
     def get(self, scenario_hash: str) -> dict[str, Any] | None:
         """The stored record for a scenario hash, or ``None`` on a miss.
 
-        A corrupt, truncated or wrong-schema file is a miss, not an error:
-        the campaign recomputes the point and overwrites the record.
+        A corrupt or truncated file is quarantined (renamed to
+        ``<hash>.json.corrupt`` with a logged warning) and reported as a
+        miss; a parseable record with a foreign schema is a plain miss,
+        left in place.  Either way the campaign recomputes the point.
+        Records carrying a ``"failure"`` dict (a point that crashed or
+        timed out, :meth:`put_failure`) are returned like results -- the
+        campaign layer decides to skip them.
         """
         path = self.path(scenario_hash)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            return None
+        except json.JSONDecodeError as exc:
+            self._quarantine(path, str(exc))
+            return None
+        if not isinstance(record, dict):
+            self._quarantine(path, f"top-level {type(record).__name__}, not an object")
             return None
         if (
-            not isinstance(record, dict)
-            or record.get("schema") != SCHEMA_VERSION
+            record.get("schema") != SCHEMA_VERSION
             or record.get("hash") != scenario_hash
-            or not isinstance(record.get("result"), dict)
+            or not (
+                isinstance(record.get("result"), dict)
+                or isinstance(record.get("failure"), dict)
+            )
         ):
             return None
         return record
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move an unparseable record aside so the evidence survives."""
+        quarantined = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:  # pragma: no cover - racing cleanup/permissions
+            logger.warning(
+                "result store: unreadable record %s (%s); could not "
+                "quarantine it, treating as a cache miss",
+                path,
+                reason,
+            )
+            return
+        logger.warning(
+            "result store: unreadable record %s (%s); quarantined to %s "
+            "and treating as a cache miss",
+            path,
+            reason,
+            quarantined,
+        )
 
     def put(
         self,
@@ -93,6 +139,29 @@ class ResultStore:
             "scenario": scenario.to_dict(),
             "result": payload,
         }
+        return self._write(scenario_hash, record)
+
+    def put_failure(
+        self,
+        scenario_hash: str,
+        scenario: ScenarioConfig,
+        failure: Mapping[str, Any],
+    ) -> Path:
+        """Persist a structured failure record for a point that cannot run.
+
+        The record marks the point *known-bad*: a resumed campaign skips
+        it instead of re-crashing or re-hanging a worker on it.  Delete
+        the record file (or ``put`` a real result) to retry the point.
+        """
+        record = {
+            "schema": SCHEMA_VERSION,
+            "hash": scenario_hash,
+            "scenario": scenario.to_dict(),
+            "failure": dict(failure),
+        }
+        return self._write(scenario_hash, record)
+
+    def _write(self, scenario_hash: str, record: Mapping[str, Any]) -> Path:
         path = self.path(scenario_hash)
         tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
         with open(tmp, "w", encoding="utf-8") as handle:

@@ -14,6 +14,13 @@ the host by either
 Section 3.1 of the paper identifies both mechanisms as the reason automatic
 track-boundary detection is hard; the geometry model therefore implements
 them faithfully.
+
+This module models defects *baked into the geometry* before a run starts.
+Defects that appear mid-run (grown defects on a live drive) are the
+fault-injection layer's job: :mod:`repro.faults` charges recovery and
+revector rotations at service time without mutating the LBN map, precisely
+because remapping mid-replay would silently change every subsequent
+request's geometry.
 """
 
 from __future__ import annotations

@@ -88,6 +88,10 @@ class CompletedRequest:
     completion: float
     cache_hit: bool = False
     streamed: bool = False
+    #: True when fault injection failed this request (fail-stop, or the
+    #: recovery retry budget was exhausted).  Timing fields still describe
+    #: the time the firmware spent before giving up.
+    failed: bool = False
 
     @property
     def response_time(self) -> float:
@@ -247,6 +251,9 @@ class DiskDrive:
         #: Optional dispatch-time policy (see :mod:`repro.disksim.sched`).
         #: ``None`` keeps the drive's classic immediate-service behaviour.
         self.scheduler = None
+        #: Optional fault-injection state (see :mod:`repro.faults`).
+        #: ``None`` keeps the drive healthy and all fast paths eligible.
+        self.faults = None
         self.stats = DriveStats()
         # Memo tables for the batched fast path.  All values are pure
         # functions of the immutable specs/geometry, so they survive reset().
@@ -268,6 +275,8 @@ class DiskDrive:
         self.cache.invalidate()
         if self.scheduler is not None:
             self.scheduler.clear()
+        if self.faults is not None:
+            self.faults.reset()
         self.stats = DriveStats()
 
     # ------------------------------------------------------------------ #
@@ -283,6 +292,17 @@ class DiskDrive:
         self.scheduler = scheduler
         if scheduler is not None:
             scheduler.bind(self)
+
+    def attach_faults(self, state) -> None:
+        """Attach fault-injection state (see :mod:`repro.faults`).
+
+        ``None`` detaches, restoring the healthy drive.  With faults
+        attached every request is serviced by the exact scalar path
+        (:meth:`submit_batch` degrades to a per-request loop and the
+        columnar kernels refuse with ``"fault injection active"``), so the
+        seeded fault RNG advances in deterministic service order.
+        """
+        self.faults = state
 
     @property
     def pending(self) -> int:
@@ -320,6 +340,8 @@ class DiskDrive:
         Requests must be submitted in issue-time order; the drive applies
         its internal actuator/bus availability to model queueing.
         """
+        if self.faults is not None:
+            return self._submit_faulted(request, issue_time)
         self._validate(request)
         mech_start = max(
             issue_time + self.bus.command_overhead_ms, self.actuator_free
@@ -330,6 +352,98 @@ class DiskDrive:
             completed = self._service_write(request, issue_time, mech_start)
         self._account(completed)
         return completed
+
+    def _submit_faulted(
+        self, request: DiskRequest, issue_time: float
+    ) -> CompletedRequest:
+        """The scalar service path with the attached fault schedule applied.
+
+        Fail-stopped drives redirect to their spare or fail the request
+        after command decode (zero mechanism time).  Otherwise the request
+        is serviced normally, then recovery rotations (grown defects,
+        transient retries -- bounded by the retry budget) and slowdown
+        penalties shift ``media_end``/``completion`` and the actuator/bus
+        availability, exactly as firmware recovery holds the mechanism.
+        """
+        self._validate(request)
+        faults = self.faults
+        fstats = faults.stats
+        if faults.failed_stop(issue_time):
+            if faults.spare is not None:
+                fstats.redirected_requests += 1
+                return faults.spare.submit(request, issue_time)
+            fstats.failed_requests += 1
+            rejected_at = issue_time + self.bus.command_overhead_ms
+            done = CompletedRequest(
+                request=request,
+                issue_time=issue_time,
+                mech_start=rejected_at,
+                seek_ms=0.0,
+                settle_ms=0.0,
+                rotational_latency_ms=0.0,
+                head_switch_ms=0.0,
+                media_transfer_ms=0.0,
+                bus_ms=0.0,
+                bus_overlap_ms=0.0,
+                media_end=rejected_at,
+                completion=rejected_at,
+                failed=True,
+            )
+            # The firmware rejects after command decode: the request is
+            # counted, but no sectors moved and the mechanism stayed idle.
+            self.stats.requests += 1
+            if request.op == READ:
+                self.stats.reads += 1
+            else:
+                self.stats.writes += 1
+            return done
+
+        mech_start = max(
+            issue_time + self.bus.command_overhead_ms, self.actuator_free
+        )
+        if request.op == READ:
+            done = self._service_read(request, issue_time, mech_start)
+        else:
+            done = self._service_write(request, issue_time, mech_start)
+
+        failed = False
+        penalty = 0.0
+        if not done.cache_hit:
+            rotations = faults.grown_defect_rotations(
+                request.lbn, request.count, issue_time
+            )
+            retry_rotations, errored = faults.transient_rotations()
+            if errored:
+                fstats.transient_errors += 1
+            rotations += retry_rotations
+            if rotations > faults.retry_budget:
+                rotations = faults.retry_budget
+                failed = True
+                fstats.failed_requests += 1
+            if rotations:
+                fstats.retries += rotations
+                recovery = rotations * self.specs.rotation_ms
+                fstats.recovery_ms += recovery
+                penalty += recovery
+            factor = faults.slowdown_factor(done.mech_start)
+            if factor > 1.0:
+                slow = (done.seek_ms + done.settle_ms) * (factor - 1.0)
+                if slow > 0.0:
+                    fstats.slowdown_ms += slow
+                    penalty += slow
+        if penalty > 0.0:
+            media_end = done.media_end + penalty
+            completion = done.completion + penalty
+            self.actuator_free = max(self.actuator_free, media_end)
+            if request.op == READ:
+                self.bus_free = max(self.bus_free, completion)
+            done = replace(
+                done, media_end=media_end, completion=completion, failed=failed
+            )
+        elif failed:
+            done = replace(done, failed=True)
+        self._account(done)
+        return done
 
     def read(self, lbn: int, count: int, issue_time: float) -> CompletedRequest:
         return self.submit(DiskRequest.read(lbn, count), issue_time)
@@ -397,6 +511,17 @@ class DiskDrive:
         if not (len(ops) == len(counts) == len(issue_times) == n):
             raise RequestError("batch columns must have equal length")
         result = out if out is not None else BatchResult()
+
+        if self.faults is not None:
+            # Fault injection pins the exact scalar path so the seeded
+            # fault RNG advances once per request in service order.
+            for i in range(n):
+                result.append_completed(
+                    self.submit(
+                        DiskRequest(ops[i], lbns[i], counts[i]), issue_times[i]
+                    )
+                )
+            return result
 
         geometry = self.geometry
         specs = self.specs

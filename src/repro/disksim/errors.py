@@ -35,7 +35,10 @@ class ConfigError(DiskSimError):
     :mod:`repro.sim.stream` and :mod:`repro.sim.importers`: malformed
     arrival inputs (non-monotonic, negative or NaN timestamps; unparsable
     trace lines) fail loudly at construction with the offending index
-    instead of corrupting replay ordering silently.
+    instead of corrupting replay ordering silently.  The fault-injection
+    layer (:mod:`repro.faults`) raises it for malformed fault schedules
+    and for schedules attached where they cannot act (efficiency
+    scenarios, out-of-range drive indices).
     """
 
 

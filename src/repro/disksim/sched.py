@@ -30,6 +30,12 @@ are registered:
   dispatched back to back, so the whole extent is drained in a single
   sweep before the arm moves on.
 
+Scheduling composes with fault injection (:mod:`repro.faults`): dispatch
+order is decided here, and whatever the policy dispatches then pays the
+drive's fault model (retry rotations, slowdown windows, fail-stop) at
+service time -- scheduled fault-bearing replays run on the exact scalar
+path, never the vectorized kernel.
+
 Every policy carries a configurable **starvation bound**: when the oldest
 queued request has waited longer than ``starvation_ms`` at a dispatch
 decision, it is dispatched regardless of the policy's preference (and

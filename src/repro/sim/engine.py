@@ -30,6 +30,7 @@ from ..analysis.stats import summarize
 from ..disksim.drive import BatchResult, DiskDrive, DiskRequest, DriveStats
 from ..disksim.errors import RequestError
 from ..disksim.sched import Scheduler, make_scheduler
+from ..faults import fleet_fault_extras
 from .shard import LbnRangeShard
 from .trace import Trace
 
@@ -130,7 +131,11 @@ class TraceReplayEngine:
     vocabulary: ``"ok"`` whenever a fast path ran, ``"fast disabled"``
     when ``fast=False`` pinned the scalar path, and otherwise exactly one
     documented refusal string from :mod:`repro.sim.kernel` --
-    ``"numpy unavailable"``, ``"empty trace"``, ``"defective geometry"``,
+    ``"numpy unavailable"``, ``"empty trace"``,
+    ``"fault injection active"`` (a fault schedule is attached, so only
+    the exact scalar path -- which advances the seeded fault RNG in
+    service order -- may produce numbers),
+    ``"defective geometry"``,
     ``"out-of-order bus"``, ``"warm firmware cache (reset=False)"``,
     ``"unknown opcode"``, ``"invalid request"``,
     ``"request exceeds fleet capacity"``,
@@ -262,6 +267,7 @@ class TraceReplayEngine:
             fleet.reset()
         before = fleet.combined_stats()
         split_before = fleet.split_requests
+        fault_before = fleet_fault_extras(fleet)
         ordered = trace if trace.is_time_ordered() else trace.sorted_by_issue()
         shard_ops, shard_lbns, shard_counts, shard_times = self._route_open(ordered)
 
@@ -280,7 +286,9 @@ class TraceReplayEngine:
                     out=result,
                 )
             results.append(result)
-        return self._aggregate(ordered, results, "open", before, split_before)
+        return self._aggregate(
+            ordered, results, "open", before, split_before, fault_before
+        )
 
     def _route_open(
         self, ordered: Trace
@@ -372,6 +380,7 @@ class TraceReplayEngine:
             fleet.reset()
         before = fleet.combined_stats()
         split_before = fleet.split_requests
+        fault_before = fleet_fault_extras(fleet)
         ordered = trace if trace.is_time_ordered() else trace.sorted_by_issue()
         shard_ops, shard_lbns, shard_counts, shard_times = self._route_open(ordered)
 
@@ -408,7 +417,9 @@ class TraceReplayEngine:
                 results.append(result)
             finally:
                 drive.attach_scheduler(None)
-        stats = self._aggregate(ordered, results, "open", before, split_before)
+        stats = self._aggregate(
+            ordered, results, "open", before, split_before, fault_before
+        )
         stats.extras["forced_dispatches"] = float(forced)
         return stats
 
@@ -437,6 +448,7 @@ class TraceReplayEngine:
             fleet.reset()
         before = fleet.combined_stats()
         split_before = fleet.split_requests
+        fault_before = fleet_fault_extras(fleet)
         queues = self._route_closed(trace)
 
         depth = self.queue_depth
@@ -471,7 +483,9 @@ class TraceReplayEngine:
                 results.append(result)
             finally:
                 drive.attach_scheduler(None)
-        stats = self._aggregate(trace, results, "closed", before, split_before)
+        stats = self._aggregate(
+            trace, results, "closed", before, split_before, fault_before
+        )
         stats.extras["forced_dispatches"] = float(forced)
         return stats
 
@@ -508,6 +522,7 @@ class TraceReplayEngine:
             fleet.reset()
         before = fleet.combined_stats()
         split_before = fleet.split_requests
+        fault_before = fleet_fault_extras(fleet)
         n_shards = len(fleet)
         queues = self._route_closed(trace)
 
@@ -526,7 +541,9 @@ class TraceReplayEngine:
             results[shard].append_completed(done)
             if cursors[shard] < len(queues[shard]):
                 heapq.heappush(heap, (done.completion + think_ms, shard))
-        return self._aggregate(trace, results, "closed", before, split_before)
+        return self._aggregate(
+            trace, results, "closed", before, split_before, fault_before
+        )
 
     # ------------------------------------------------------------------ #
     # Streaming replay
@@ -572,6 +589,7 @@ class TraceReplayEngine:
         mode: str,
         before: "DriveStats",
         split_before: int,
+        fault_before: "dict[str, float] | None" = None,
     ) -> ReplayStats:
         fleet = self.fleet
         issued = sum(len(r) for r in results)
@@ -641,7 +659,7 @@ class TraceReplayEngine:
 
         # Drive counters are cumulative; report this run's delta so a
         # warm-state replay (reset=False) still describes only its trace.
-        return ReplayStats(
+        stats = ReplayStats(
             trace_requests=len(trace),
             issued_requests=issued,
             split_requests=fleet.split_requests - split_before,
@@ -659,6 +677,16 @@ class TraceReplayEngine:
             peak_outstanding=peak,
             mode=mode,
         )
+        # Fault counters ride in ``extras`` only when a fault schedule is
+        # attached, so fault-free replays stay byte-identical to pre-fault
+        # output.  Like the drive counters above, report this run's delta.
+        fault_after = fleet_fault_extras(fleet)
+        if fault_after:
+            base = fault_before or {}
+            stats.extras.update(
+                {k: v - base.get(k, 0.0) for k, v in fault_after.items()}
+            )
+        return stats
 
 
 __all__ = ["ReplayStats", "TraceReplayEngine"]

@@ -227,6 +227,10 @@ def fleet_eligibility(fleet: "LbnRangeShard", reset: bool) -> "str | None":
     chunked streaming path (:mod:`repro.sim.stream`).
     """
     for drive in fleet.drives:
+        if getattr(drive, "faults", None) is not None:
+            # Fault schedules advance a seeded RNG per serviced request and
+            # mutate remap state mid-run; only the scalar path models that.
+            return "fault injection active"
         if drive.geometry.has_defects:
             return "defective geometry"
         if not drive.bus.in_order:

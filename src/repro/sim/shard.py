@@ -123,9 +123,21 @@ class LbnRangeShard:
         self.split_requests = 0
 
     def combined_stats(self) -> DriveStats:
-        """Sum of the per-drive aggregate counters."""
-        total = DriveStats()
+        """Sum of the per-drive aggregate counters.
+
+        Spare drives standing in for fail-stopped primaries (see
+        :mod:`repro.faults`) are included: a redirected request is
+        accounted on the spare, not the primary, so the fleet totals
+        still conserve request counts.
+        """
+        members: list[DiskDrive] = []
         for drive in self.drives:
+            members.append(drive)
+            faults = getattr(drive, "faults", None)
+            if faults is not None and faults.spare is not None:
+                members.append(faults.spare)
+        total = DriveStats()
+        for drive in members:
             stats = drive.stats
             total.requests += stats.requests
             total.reads += stats.reads

@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 from ..disksim.drive import BatchResult, DiskRequest
 from ..disksim.errors import ConfigError, RequestError
 from ..disksim.geometry import _numpy
+from ..faults import fleet_fault_extras
 from .trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -218,6 +219,7 @@ class _StreamAggregator:
         # Counter deltas: snapshot after reset, like the one-shot paths.
         self.before = fleet.combined_stats()
         self.split_before = fleet.split_requests
+        self.fault_before = fleet_fault_extras(fleet)
         self.trace_requests = 0
         self.start_ms = float("inf")
         self.end_ms = float("-inf")
@@ -315,7 +317,7 @@ class _StreamAggregator:
         for entry in per_drive:
             entry["utilization"] = entry["busy_ms"] / span if span > 0.0 else 0.0
 
-        return ReplayStats(
+        stats = ReplayStats(
             trace_requests=self.trace_requests,
             issued_requests=issued,
             split_requests=fleet.split_requests - self.split_before,
@@ -333,6 +335,16 @@ class _StreamAggregator:
             peak_outstanding=self._peak_outstanding(),
             mode=self.mode,
         )
+        # Fault counters (deltas, like the drive counters above) ride in
+        # ``extras`` only when a fault schedule is attached -- fault-free
+        # streams stay byte-identical to pre-fault output.
+        fault_after = fleet_fault_extras(fleet)
+        if fault_after:
+            base = self.fault_before
+            stats.extras.update(
+                {k: v - base.get(k, 0.0) for k, v in fault_after.items()}
+            )
+        return stats
 
     # ------------------------------------------------------------------ #
     def response_columns(self):
@@ -906,6 +918,18 @@ class ServiceStats:
     SLO violations, saturation throughput (open-loop extrapolation of the
     achieved throughput to 100% utilization of the busiest drive) and a
     bounded per-drive queue-depth time series.
+
+    With a fault schedule attached (:mod:`repro.faults`) the service view
+    additionally reports degraded-mode metrics: ``failed_requests`` /
+    ``redirected_requests`` (requests lost to fail-stop or retry-budget
+    exhaustion, and requests a spare absorbed), ``error_fraction`` and
+    ``availability`` (= 1 - error_fraction; redirected requests count as
+    served).  Failed requests complete at command-decode time, so the
+    response percentiles during an uncovered fail-stop describe only what
+    the service actually answered -- read them together with
+    ``availability``.  These fields serialize only when faults are
+    attached, keeping fault-free payloads byte-identical to pre-fault
+    output.
     """
 
     replay: "ReplayStats"
@@ -915,6 +939,10 @@ class ServiceStats:
     saturation_rps: float
     queue_depth_times_ms: list[float]
     queue_depth_per_drive: list[list[int]]
+    failed_requests: int = 0
+    redirected_requests: int = 0
+    error_fraction: float = 0.0
+    availability: float = 1.0
 
     # ------------------------------------------------------------------ #
     @property
@@ -945,8 +973,13 @@ class ServiceStats:
     def max_response_ms(self) -> float:
         return self.replay.response["max"]
 
+    @property
+    def faulted(self) -> bool:
+        """True when the underlying replay ran with a fault schedule."""
+        return "fault_failed_requests" in self.replay.extras
+
     def to_dict(self) -> dict:
-        return {
+        data = {
             "requests": self.requests,
             "throughput_rps": self.throughput_rps,
             "saturation_rps": self.saturation_rps,
@@ -964,6 +997,12 @@ class ServiceStats:
             ],
             "replay": self.replay.to_dict(),
         }
+        if self.faulted:
+            data["failed_requests"] = self.failed_requests
+            data["redirected_requests"] = self.redirected_requests
+            data["error_fraction"] = self.error_fraction
+            data["availability"] = self.availability
+        return data
 
 
 def run_service(
@@ -1019,6 +1058,12 @@ def run_service(
         agg.outstanding_at(shard, times) for shard in range(len(fleet.drives))
     ]
 
+    # ---- degraded-mode metrics (non-trivial only with faults attached) -- #
+    failed = int(stats.extras.get("fault_failed_requests", 0.0))
+    redirected = int(stats.extras.get("fault_redirected_requests", 0.0))
+    error_fraction = failed / stats.issued_requests
+    availability = 1.0 - error_fraction
+
     return ServiceStats(
         replay=stats,
         slo_ms=slo_ms,
@@ -1027,6 +1072,10 @@ def run_service(
         saturation_rps=saturation,
         queue_depth_times_ms=times,
         queue_depth_per_drive=per_drive,
+        failed_requests=failed,
+        redirected_requests=redirected,
+        error_fraction=error_fraction,
+        availability=availability,
     )
 
 
